@@ -1,0 +1,42 @@
+"""Ablations: measured evidence for the paper's design arguments
+(DESIGN.md section 5)."""
+
+from repro.bench.ablations import (
+    ablation_heap_marking,
+    ablation_rx_misdiagnosis,
+    ablation_site_search,
+)
+from repro.core.bugtypes import BugType
+
+
+def test_ablation_heap_marking(once):
+    result = once(ablation_heap_marking)
+    print("\n" + result.render())
+    with_marking = result.data["with"]
+    without = result.data["without"]
+    # with marking: the chosen checkpoint precedes the purge, several
+    # intervals before the failure
+    assert with_marking["verdict"] == "patched"
+    assert with_marking["distance_intervals"] >= 3
+    # without marking: phase 1 is fooled into a post-trigger
+    # checkpoint (Figure 3), and the diagnosis degrades
+    assert without["distance_intervals"] < 3
+    assert (without["verdict"] != "patched"
+            or without["chosen"] > with_marking["chosen"])
+
+
+def test_ablation_rx_misdiagnosis(once):
+    result = once(ablation_rx_misdiagnosis)
+    print("\n" + result.render())
+    truth = BugType.DANGLING_WRITE.value
+    assert result.data["first_aid"] == [truth]
+    assert result.data["rx"] != truth  # survival-only gets it wrong
+
+
+def test_ablation_site_search(once):
+    result = once(ablation_site_search)
+    print("\n" + result.render())
+    binary = result.data["binary"]
+    linear = result.data["linear"]
+    assert binary["patches"] == linear["patches"] == 2
+    assert binary["rollbacks"] <= linear["rollbacks"]

@@ -1,0 +1,37 @@
+"""Figure 4: throughput under repeated bug triggers -- First-Aid vs Rx
+vs restart, for Apache and Squid.
+
+Shape targets: First-Aid recovers once and then rides out every
+subsequent trigger (a single dip); Rx re-recovers on (at least most)
+triggers; restart crashes on every trigger and pays full downtime.
+"""
+
+from repro.bench.experiments import figure4_throughput
+
+
+def _interior_zero_bins(series):
+    """Zero bins between the first and last active bin (each run ends
+    at a different simulated time, so trailing zeros are not dips)."""
+    active = [i for i, v in enumerate(series) if v > 0]
+    if not active:
+        return len(series)
+    lo, hi = active[0], active[-1]
+    return sum(1 for v in series[lo:hi + 1] if v == 0)
+
+
+def test_figure4_throughput(once):
+    result = once(figure4_throughput)
+    print("\n" + (result.text or ""))
+    for name, d in result.data.items():
+        triggers = d["triggers"]
+        assert d["fa_recoveries"] == 1, name
+        assert d["rx_recoveries"] >= triggers - 1, name
+        assert d["rx_recoveries"] > d["fa_recoveries"], name
+        assert d["restarts"] == triggers, name
+        fa_dips = _interior_zero_bins(d["series"]["First-Aid"])
+        # First-Aid dips at most once (the diagnosis of the first
+        # trigger) and then stays up; the repeated Rx/restart hits are
+        # asserted through their recovery/restart counts above (Rx's
+        # individual dips are shorter than one 2s bin thanks to replay
+        # speed, so bin-level zeros undercount them).
+        assert fa_dips <= 2, (name, d["series"]["First-Aid"])

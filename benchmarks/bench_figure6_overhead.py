@@ -1,0 +1,33 @@
+"""Figure 6: normal-execution overhead.
+
+Shape targets (paper: 0.4%-11.6%, average 3.7%): low overall overhead,
+with the allocator extension showing most on allocation-intensive
+programs and checkpointing showing most on large-working-set SPEC
+programs.
+"""
+
+from repro.bench.experiments import figure6_overhead
+
+
+def test_figure6_overhead(once):
+    result = once(figure6_overhead)
+    print("\n" + result.render())
+    data = {k: v for k, v in result.data.items()
+            if k != "average_overhead"}
+    avg = result.data["average_overhead"]
+    assert 0.0 < avg < 0.12, avg
+    for name, d in data.items():
+        assert d["overall"] >= d["allocator"] >= 0.999, name
+        assert d["overall"] - 1 < 0.20, name
+    # allocator-extension overhead concentrates on alloc-intensive
+    alloc_ext = [d["allocator"] - 1 for n, d in data.items()
+                 if n in ("cfrac", "espresso", "p2c")]
+    spec_ext = [d["allocator"] - 1 for n, d in data.items()
+                if n.startswith(("1", "2", "3"))]
+    assert min(alloc_ext) > sum(spec_ext) / len(spec_ext)
+    # checkpointing overhead concentrates on big working sets
+    big = [data[n]["overall"] - data[n]["allocator"]
+           for n in ("255.vortex", "181.mcf")]
+    small = [data[n]["overall"] - data[n]["allocator"]
+             for n in ("252.eon", "186.crafty")]
+    assert min(big) > max(small)

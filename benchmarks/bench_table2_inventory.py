@@ -1,0 +1,16 @@
+"""Table 2: the application/bug inventory."""
+
+from repro.bench.experiments import table2_inventory
+
+
+def test_table2_inventory(once):
+    result = once(table2_inventory)
+    print("\n" + result.render())
+    names = [row[0] for row in result.rows]
+    assert names == ["apache", "squid", "cvs", "pine", "mutt", "m4",
+                     "bc", "apache-uir", "apache-dpw"]
+    bugs = {row[0]: row[2] for row in result.rows}
+    assert "dangling pointer read" in bugs["apache"]
+    assert "double free" in bugs["cvs"]
+    assert "two buffer overflows" in bugs["bc"]
+    assert "injected" in bugs["apache-uir"]

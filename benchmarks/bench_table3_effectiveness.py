@@ -1,0 +1,42 @@
+"""Table 3: overall effectiveness -- diagnosis, recovery time,
+prevention of reoccurrence, rollback counts, validation time.
+
+Shape targets (vs the paper):
+* every bug is diagnosed with the right type and patch-site count;
+* every app survives the failure AND the repeated trigger ("Yes");
+* recovery times land in the sub-second-to-seconds band with Apache
+  the slowest of the real bugs (its trigger is 3 checkpoints before
+  the failure);
+* read-type bugs (binary search) need more rollbacks than
+  directly-manifesting ones.
+"""
+
+from repro.apps.registry import get_app
+from repro.bench.experiments import table3_effectiveness
+
+
+def test_table3_effectiveness(once):
+    result = once(table3_effectiveness)
+    print("\n" + result.render())
+    data = result.data
+
+    for name, row in data.items():
+        app = get_app(name)
+        assert row["ok"], f"{name} did not avoid future errors"
+        assert set(row["bug_types"]) == \
+            {b.value for b in app.BUG_TYPES}, name
+        assert row["patch_sites"] == row["expected_sites"], name
+        assert row["consistent"], name
+        assert 0.01 < row["recovery_s"] < 30, name
+
+    real = ["apache", "squid", "cvs", "pine", "mutt", "m4", "bc"]
+    slowest = max(real, key=lambda n: data[n]["recovery_s"])
+    assert slowest == "apache"
+
+    direct = ["squid", "cvs", "pine", "mutt", "bc", "apache-dpw"]
+    searched = ["apache", "m4", "apache-uir"]
+    max_direct = max(data[n]["rollbacks"] for n in direct)
+    min_searched = min(data[n]["rollbacks"] for n in searched)
+    assert min_searched > max_direct, (
+        "binary-search bugs must need more rollbacks than "
+        "directly-identified ones")

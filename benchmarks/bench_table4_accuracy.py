@@ -1,0 +1,21 @@
+"""Table 4: patch accuracy -- call-sites and objects affected by
+First-Aid's patches vs Rx's whole-heap environmental changes.
+
+Shape target: First-Aid touches a (much) smaller set on both axes for
+every application, which is why its patches can stay enabled while Rx
+must disable its changes.
+"""
+
+from repro.bench.experiments import table4_accuracy
+
+
+def test_table4_accuracy(once):
+    result = once(table4_accuracy)
+    print("\n" + result.render())
+    for name, d in result.data.items():
+        assert d["fa_sites"] <= d["rx_sites"], name
+        assert d["fa_objects"] < d["rx_objects"], name
+    # aggregate: at least 3x fewer objects on average
+    ratios = [d["fa_objects"] / d["rx_objects"]
+              for d in result.data.values()]
+    assert sum(ratios) / len(ratios) < 0.5

@@ -1,0 +1,27 @@
+"""Table 5: space overhead of the runtime patches.
+
+Shape targets: padding patches cost ~1 KB per concurrently-padded
+object (the paper reports 1016 B per object); delay-free patches
+accumulate a small, bounded number of quarantined bytes.
+"""
+
+from repro.bench.experiments import table5_patch_space
+
+PADDING_APPS = {"squid", "pine", "mutt", "bc"}
+DELAY_APPS = {"apache", "cvs", "m4"}
+
+
+def test_table5_patch_space(once):
+    result = once(table5_patch_space)
+    print("\n" + result.render())
+    for name, d in result.data.items():
+        if name in PADDING_APPS:
+            assert d["patch_type"] == "padding", name
+            assert d["overhead"] % 1016 == 0, name
+            assert d["overhead"] >= 1016, name
+        else:
+            assert d["patch_type"] == "delay free", name
+            assert 0 < d["overhead"] < 64 * 1024, name
+    # bc pads more concurrent objects than the single-buffer apps
+    assert result.data["bc"]["overhead"] > \
+        result.data["squid"]["overhead"]

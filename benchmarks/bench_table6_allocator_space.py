@@ -1,0 +1,22 @@
+"""Table 6: heap space overhead of the allocator extension.
+
+Shape target: the 16-byte-per-object metadata is negligible for
+large-object programs (gzip, mcf, bzip2, lindsay) and substantial for
+many-small-object programs (cfrac, espresso, p2c, twolf), exactly the
+paper's split.
+"""
+
+from repro.bench.experiments import table6_allocator_space
+
+
+def test_table6_allocator_space(once):
+    result = once(table6_allocator_space)
+    print("\n" + result.render())
+    overhead = {name: d["overhead"]
+                for name, d in result.data.items()}
+    # small-object programs pay much more than large-object ones
+    for heavy in ("cfrac", "espresso", "p2c", "300.twolf"):
+        assert overhead[heavy] > 0.10, heavy
+    for light in ("164.gzip", "256.bzip2", "181.mcf", "lindsay"):
+        assert overhead[light] < 0.05, light
+    assert overhead["cfrac"] == max(overhead.values())

@@ -1,0 +1,24 @@
+"""Table 7: checkpoint (COW) space overhead.
+
+Shape target: per-checkpoint traffic tracks the working set -- the
+large SPEC programs (vortex, mcf, gcc, parser, bzip2, gzip) dominate,
+the tiny ones (eon, crafty, bc-style apps) cost a few KB; the adaptive
+interval keeps per-second traffic bounded.
+"""
+
+from repro.bench.experiments import table7_checkpoint_space
+
+
+def test_table7_checkpoint_space(once):
+    result = once(table7_checkpoint_space)
+    print("\n" + result.render())
+    per_ck = {name: d["bytes_per_checkpoint"]
+              for name, d in result.data.items()}
+    big = ["255.vortex", "181.mcf", "176.gcc", "253.perlbmk"]
+    small = ["252.eon", "186.crafty", "bc", "m4"]
+    assert min(per_ck[n] for n in big) > max(per_ck[n] for n in small)
+    assert per_ck["255.vortex"] == max(per_ck[n] for n in per_ck
+                                       if n.startswith(("1", "2", "3")))
+    # per-second traffic stays bounded thanks to adaptation
+    for name, d in result.data.items():
+        assert d["bytes_per_second"] < 4 * 1024 * 1024, name

@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures exactly
+once per session (``rounds=1``): the quantity being measured is the
+simulated system, not the harness, so statistical repetition would only
+re-run identical deterministic work.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable once under pytest-benchmark and return its
+    result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1,
+                                  warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Quickstart: survive a heap buffer overflow with First-Aid.
+
+A small MiniC "server" has a classic unchecked-length overflow: most
+requests are harmless, but one request overruns a 32-byte buffer and
+smashes a neighbouring object's pointer, crashing the process.
+
+Run it under :class:`repro.FirstAidRuntime` and watch the system:
+
+1. catch the SIGSEGV,
+2. diagnose the bug by re-executing from checkpoints under exposing /
+   preventive environmental changes,
+3. generate an "add padding" patch for the one allocation call-site,
+4. recover, and
+5. sail through the *second* bug-triggering request without failing.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import FirstAidConfig, FirstAidRuntime, compile_program
+
+BUGGY_SERVER = """
+int session = 0;     // holds a pointer used on every request
+int counters = 0;
+
+int build_request_title(int len) {
+    // BUG: the title buffer is 32 bytes but `len` is never checked.
+    int title = malloc(32);
+    int i = 0;
+    while (i < len) {
+        store1(title + i, 85);
+        i = i + 1;
+    }
+    free(title);
+    return 0;
+}
+
+int account(int size) {
+    int c = load(session);           // pointer the overflow smashes
+    store(c, load(c) + size);
+    return 0;
+}
+
+int main() {
+    int scratch = malloc(32);        // leaves a hole below `session`
+    session = malloc(48);
+    counters = malloc(48);
+    store(counters, 0);
+    store(session, counters);
+    free(scratch);
+    while (1) {
+        int len = input();
+        if (len == 0) { halt(); }
+        build_request_title(len);
+        account(len);
+        output(len);
+    }
+}
+"""
+
+
+def main() -> None:
+    program = compile_program(BUGGY_SERVER, name="quickstart-server")
+
+    # Workload: normal requests (len <= 24), one bug trigger (len 64),
+    # more normal traffic, then the SAME trigger again.
+    workload = [12, 18, 9, 24, 15] * 6
+    workload += [64]                 # first trigger: the process fails
+    workload += [10, 20, 14] * 10
+    workload += [64]                 # second trigger: must be survived
+    workload += [8, 16] * 5 + [0]
+
+    runtime = FirstAidRuntime(program, input_tokens=workload,
+                              config=FirstAidConfig())
+    session = runtime.run()
+
+    print(f"session finished: {session.reason!r}, "
+          f"{len(session.recoveries)} recovery(ies)")
+    assert session.reason == "halt"
+    assert len(session.recoveries) == 1, \
+        "the patch must prevent the second trigger"
+
+    recovery = session.recoveries[0]
+    diagnosis = recovery.diagnosis
+    print(f"diagnosed bug type(s): "
+          f"{[b.value for b in diagnosis.bug_types]}")
+    print(f"rollbacks used for diagnosis: {diagnosis.rollbacks}")
+    print(f"recovery time: {recovery.recovery_time_ns / 1e9:.3f} "
+          f"simulated seconds")
+    if recovery.validation:
+        print(f"patch validation: "
+              f"{'consistent' if recovery.validation.consistent else 'FAILED'} "
+              f"({recovery.validation.time_ns / 1e9:.3f} s, off the "
+              f"recovery path)")
+    print()
+    print("---- on-site bug report " + "-" * 40)
+    print(recovery.report.render(mm_trace_limit=12))
+    print()
+    completed = len(runtime.process.output.values())
+    print(f"requests completed despite the bug: {completed}")
+
+
+if __name__ == "__main__":
+    main()

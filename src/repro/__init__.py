@@ -1,0 +1,64 @@
+"""First-Aid reproduction: surviving and preventing memory management
+bugs during production runs (Gao, Zhang, Tang & Qin, EuroSys 2009).
+
+Public API tour
+---------------
+
+Run a (buggy) program under First-Aid::
+
+    from repro import FirstAidRuntime, compile_program
+
+    program = compile_program(minic_source, name="myapp")
+    runtime = FirstAidRuntime(program, input_tokens=workload)
+    session = runtime.run()
+    for recovery in session.recoveries:
+        print(recovery.report.render())
+
+The seven applications from the paper's evaluation live in
+:mod:`repro.apps`; the experiment harness that regenerates every table
+and figure lives in :mod:`repro.bench`.
+"""
+
+from repro.core.bugtypes import BugType
+from repro.core.diagnosis import Diagnosis, DiagnosticEngine, Verdict
+from repro.core.patches import PatchPool, RuntimePatch
+from repro.core.report import BugReport
+from repro.core.runtime import (
+    FirstAidConfig,
+    FirstAidRuntime,
+    RecoveryRecord,
+    SessionResult,
+)
+from repro.core.validation import ValidationEngine, ValidationResult
+from repro.errors import CompileError, ReproError, SimulatedFault
+from repro.lang import compile_program
+from repro.process import Process
+from repro.util.callsite import CallSite
+from repro.util.simclock import CostModel, SimClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BugType",
+    "Diagnosis",
+    "DiagnosticEngine",
+    "Verdict",
+    "PatchPool",
+    "RuntimePatch",
+    "BugReport",
+    "FirstAidConfig",
+    "FirstAidRuntime",
+    "RecoveryRecord",
+    "SessionResult",
+    "ValidationEngine",
+    "ValidationResult",
+    "CompileError",
+    "ReproError",
+    "SimulatedFault",
+    "compile_program",
+    "Process",
+    "CallSite",
+    "CostModel",
+    "SimClock",
+    "__version__",
+]

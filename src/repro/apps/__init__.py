@@ -1,0 +1,31 @@
+"""The evaluation applications (paper Table 2).
+
+Each module models one of the paper's buggy applications as a MiniC
+program whose memory bug has the same type, trigger structure, and
+manifestation distance as the real one:
+
+===========  =======  ==============================  ===============
+App          Paper    Bug                             Patch call-sites
+===========  =======  ==============================  ===============
+apache       2.0.51   dangling pointer read (LDAP     7 (delay free)
+                      cache purge)
+apache-uir   2.0.51   uninitialized read (injected)   1 (fill zero)
+apache-dpw   2.0.51   dangling pointer write          1 (delay free)
+                      (injected)
+squid        2.3      buffer overflow                 1 (padding)
+cvs          1.11.4   double free                     1 (delay free)
+pine         4.44     buffer overflow                 1 (padding)
+mutt         1.3.99i  buffer overflow                 1 (padding)
+m4           1.4.4    dangling pointer read           2 (delay free)
+bc           1.06     two buffer overflows            3 (padding)
+===========  =======  ==============================  ===============
+
+Use :func:`repro.apps.registry.get_app` / ``all_apps()`` to obtain
+:class:`~repro.apps.base.App` instances.
+"""
+
+from repro.apps.base import App, AppInfo, Workload
+from repro.apps.registry import all_apps, get_app, real_bug_apps
+
+__all__ = ["App", "AppInfo", "Workload", "all_apps", "get_app",
+           "real_bug_apps"]

@@ -1,0 +1,89 @@
+"""CLI: run an evaluation application under a recovery discipline.
+
+Usage::
+
+    python -m repro.apps                       # list the applications
+    python -m repro.apps squid                 # run under First-Aid
+    python -m repro.apps apache --system rx    # run under Rx
+    python -m repro.apps cvs --system restart --triggers 3
+    python -m repro.apps m4 --report           # print the bug report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.registry import all_apps, get_app
+from repro.bench.harness import (
+    run_first_aid,
+    run_restart,
+    run_rx,
+    spaced_workload,
+)
+
+
+def list_apps() -> None:
+    print(f"{'name':<12} {'version':<9} {'bug':<34} description")
+    print("-" * 75)
+    for app in all_apps():
+        info = app.INFO
+        print(f"{info.name:<12} {info.paper_version:<9} "
+              f"{info.bug_description:<34} {info.description}")
+
+
+def run_app(name: str, system: str, triggers: int,
+            show_report: bool) -> int:
+    app = get_app(name)
+    workload = spaced_workload(app, triggers=triggers)
+    print(f"running {name} under {system}: {len(workload.tokens)} "
+          f"input tokens, {triggers} bug trigger(s)")
+
+    if system == "first-aid":
+        runtime, session, _ = run_first_aid(app, workload=workload)
+        print(f"outcome: {session.reason}, "
+              f"failures survived: {len(session.recoveries)}")
+        for recovery in session.recoveries:
+            diag = recovery.diagnosis
+            print(f"  {diag.verdict.value}: "
+                  f"{[b.value for b in diag.bug_types]}, "
+                  f"{len(diag.patches)} patch(es), "
+                  f"{diag.rollbacks} rollbacks, recovery "
+                  f"{recovery.recovery_time_ns / 1e9:.3f}s")
+            if show_report and recovery.report:
+                print(recovery.report.render())
+        return 0 if session.reason in ("halt", "input") else 1
+
+    if system == "rx":
+        runtime, session, _ = run_rx(app, workload=workload)
+        print(f"outcome: {session.reason}, "
+              f"recoveries: {len(session.recoveries)} "
+              f"(Rx cannot prevent reoccurrence)")
+        return 0 if session.reason in ("halt", "input") else 1
+
+    runtime, session, _ = run_restart(app, workload=workload)
+    print(f"outcome: {session.reason}, restarts: {session.restarts}")
+    return 0 if session.reason in ("halt", "input") else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps",
+        description="Run a paper-evaluation application under a "
+        "recovery discipline.")
+    parser.add_argument("app", nargs="?",
+                        help="application name (omit to list)")
+    parser.add_argument("--system", default="first-aid",
+                        choices=["first-aid", "rx", "restart"])
+    parser.add_argument("--triggers", type=int, default=2)
+    parser.add_argument("--report", action="store_true",
+                        help="print the generated bug report")
+    args = parser.parse_args(argv)
+    if not args.app:
+        list_apps()
+        return 0
+    return run_app(args.app, args.system, args.triggers, args.report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,528 @@
+"""Apache httpd 2.0.51 -- three bug variants.
+
+:class:`ApacheApp` models the real mod_ldap bug the paper features
+(Figure 5): ``util_ald_cache_purge`` frees LDAP cache nodes through the
+``util_ald_free`` wrapper while a connection structure retains raw
+pointers into them; requests that consult the connection later read
+freed memory.  Seven distinct multi-level deallocation call-sites feed
+the wrapper (search-node key/value/struct, URL-node key/value/struct,
+and the hash bucket array), matching the paper's ``delay free(7)``
+patch.  The purge (bug-trigger point) sits several checkpoint intervals
+before the failing request -- the property that makes Apache's recovery
+the slowest of the evaluated bugs and exercises both the phase-1
+checkpoint walk and the heap-marking technique (Figure 3).
+
+:class:`ApacheUirApp` and :class:`ApacheDpwApp` are the two *injected*
+bugs from the paper (Apache-uir, Apache-dpw): an uninitialized read in
+a subrequest status structure and a dangling-pointer write through a
+torn-down timeout entry.
+
+Request protocol (main variant):
+
+* ``1 <size>``  -- static page (compute + big scratch buffer)
+* ``2 <key>``   -- LDAP search (creates/uses a search cache node)
+* ``3 <key>``   -- URL lookup (creates/uses a URL cache node)
+* ``8``         -- cache maintenance: util_ald_cache_purge
+* ``9``         -- server-status page (pool churn + connection use)
+* ``0``         -- shutdown
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import App, AppInfo, Workload
+from repro.core.bugtypes import BugType
+from repro.util.rng import DeterministicRNG
+
+SOURCE = """
+// apache 2.0.51: mod_ldap cache with dangling pointer reads
+
+int search_node = 0;    // the (single-entry) search cache
+int url_node = 0;       // the (single-entry) URL cache
+int bucket = 0;         // hash bucket array shared by both caches
+int conn = 0;           // connection: retained raw pointers (7 slots)
+int server_stats = 0;   // [0]=requests, [8]=bytes
+int pool_ring = 0;      // per-request pool entries kept live
+int pool_evict = 0;
+int pool_next = 0;
+
+int util_ald_free(int p) {
+    // shared wrapper around free() -- all cache memory goes through it
+    free(p);
+    return 0;
+}
+
+int node_new(int keyv, int valv) {
+    // Each cache node interleaves small live statistics cells between
+    // the node/key/value allocations (as the real cache's apr pools
+    // do); the cells survive a purge, so freed node memory never
+    // coalesces into larger blocks and stays in its exact size bins
+    // until genuinely same-sized allocations recycle it.
+    int fence_lo = malloc(16);       // live fences isolate the cluster
+    int node = malloc(48);
+    int cell_a = malloc(16);
+    int key = malloc(32);
+    int cell_b = malloc(16);
+    int val = malloc(40);
+    int fence_hi = malloc(16);
+    store(fence_lo, keyv);
+    store(fence_hi, valv);
+    store(cell_a, keyv);
+    store(cell_b, valv);
+    store(key, server_stats);
+    store(key, 8, keyv);
+    store(val, server_stats);
+    store(val, 8, valv);
+    store(node, server_stats);
+    store(node, 8, key);
+    store(node, 16, val);
+    store(node, 24, cell_a);
+    store(node, 32, cell_b);
+    return node;
+}
+
+int util_ldap_search_node_free(int node) {
+    util_ald_free(load(node, 8));      // site 1: search key
+    util_ald_free(load(node, 16));     // site 2: search value
+    return 0;
+}
+
+int util_ldap_url_node_free(int node) {
+    util_ald_free(load(node, 8));      // site 4: url key
+    util_ald_free(load(node, 16));     // site 5: url value
+    return 0;
+}
+
+int util_ald_cache_purge() {
+    int n = search_node;
+    if (n != 0) {
+        util_ldap_search_node_free(n);
+        util_ald_free(n);              // site 3: search node struct
+        search_node = 0;
+    }
+    int u = url_node;
+    if (u != 0) {
+        util_ldap_url_node_free(u);
+        util_ald_free(u);              // site 6: url node struct
+        url_node = 0;
+    }
+    // rebuild the bucket array: allocate the new one first, then
+    // release the old through the wrapper
+    int nb = malloc(64);
+    memset(nb, 0, 64);
+    store(nb, server_stats);
+    util_ald_free(bucket);             // site 7: hash bucket array
+    bucket = nb;
+    return 0;
+}
+
+int handle_static(int size) {
+    // The response buffer (272-byte chunk) is deliberately larger
+    // than any coalesced run of freed cache chunks (<= 176 bytes), so
+    // static traffic never recycles purged cache memory -- only the
+    // per-request pool in handle_status does.  This preserves the
+    // paper's error-propagation structure: the dangling pointers stay
+    // latent across several checkpoint intervals.
+    int buf = malloc(256);
+    int i = 0;
+    int s = 0;
+    while (i < size) {
+        store1(buf + (i % 256), i);
+        s = s + i;
+        i = i + 1;
+    }
+    free(buf);
+    store(server_stats, load(server_stats) + 1);
+    store(server_stats, 8, load(server_stats, 8) + size);
+    output(size);
+    return s;
+}
+
+int handle_ldap_search(int key) {
+    int n = search_node;
+    if (n == 0) {
+        n = node_new(key, key * 17);
+        search_node = n;
+    }
+    // BUG: the connection keeps raw pointers into the cache; a later
+    // util_ald_cache_purge frees them without invalidating conn.
+    store(conn, load(n, 8));           // key ptr
+    store(conn, 8, load(n, 16));       // value ptr
+    store(conn, 16, n);                // node ptr
+    store(conn, 48, bucket);           // bucket ptr
+    store(server_stats, load(server_stats) + 1);
+    output(64);
+    return 0;
+}
+
+int handle_url_lookup(int key) {
+    int n = url_node;
+    if (n == 0) {
+        n = node_new(key, key * 31);
+        url_node = n;
+    }
+    store(conn, 24, load(n, 8));
+    store(conn, 32, load(n, 16));
+    store(conn, 40, n);
+    store(conn, 48, bucket);
+    store(server_stats, load(server_stats) + 1);
+    output(64);
+    return 0;
+}
+
+int pool_churn() {
+    // per-request pool entries: allocate all, then free evictions, so
+    // fresh entries take the most recently freed chunks
+    int i = 0;
+    while (i < 7) {
+        int idx = ((pool_next + i) % 8) * 8;
+        store(pool_evict, i * 8, load(pool_ring, idx));
+        int sz = 32;
+        if (i == 2 || i == 3) { sz = 40; }
+        if (i == 4 || i == 5) { sz = 48; }
+        if (i == 6) { sz = 64; }
+        int e = malloc(sz);
+        store(e, 7);
+        store(e, 8, 7);
+        store(pool_ring, idx, e);
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 7) {
+        int old = load(pool_evict, i * 8);
+        if (old != 0) {
+            free(old);
+        }
+        store(pool_evict, i * 8, 0);
+        i = i + 1;
+    }
+    pool_next = pool_next + 7;
+    return 0;
+}
+
+int handle_status() {
+    pool_churn();
+    int i = 0;
+    while (i < 7) {
+        int p = load(conn, i * 8);
+        if (p != 0) {
+            int sp = load(p);          // stale after a purge
+            store(sp, load(sp) + 1);   // -> SIGSEGV once reused
+        }
+        i = i + 1;
+    }
+    output(32);
+    return 0;
+}
+
+int main() {
+    server_stats = malloc(64);
+    store(server_stats, 0);
+    store(server_stats, 8, 0);
+    conn = malloc(56);
+    memset(conn, 0, 56);
+    bucket = malloc(64);
+    memset(bucket, 0, 64);
+    store(bucket, server_stats);
+    pool_ring = malloc(64);
+    memset(pool_ring, 0, 64);
+    pool_evict = malloc(64);
+    memset(pool_evict, 0, 64);
+    while (1) {
+        int op = input();
+        if (op == 0) { halt(); }
+        if (op == 1) { int size = input(); handle_static(size); }
+        if (op == 2) { int key = input(); handle_ldap_search(key); }
+        if (op == 3) { int key = input(); handle_url_lookup(key); }
+        if (op == 8) { util_ald_cache_purge(); output(1); }
+        if (op == 9) { handle_status(); }
+    }
+}
+"""
+
+
+class ApacheApp(App):
+    SOURCE = SOURCE
+    INFO = AppInfo(
+        name="apache",
+        paper_version="2.0.51",
+        bug_description="dangling pointer read",
+        paper_loc="263K",
+        description="web server",
+    )
+    BUG_TYPES = (BugType.DANGLING_READ,)
+    EXPECTED_PATCH_SITES = 7
+    REQUEST_COST_HINT = 800
+    #: static-page fillers between purge and the failing status request;
+    #: sized so the error propagation distance spans ~3 checkpoint
+    #: intervals at the default 20k-instruction interval (a filler
+    #: request costs ~2k instructions).
+    DEFAULT_FILLERS = 35
+    FILLER_SIZE = 256
+
+    def normal_request(self, rng: DeterministicRNG) -> List[int]:
+        roll = rng.random()
+        if roll < 0.6:
+            return [1, rng.randint(64, 400)]
+        if roll < 0.8:
+            return [2, rng.randint(0, 15)]
+        return [3, rng.randint(0, 15)]
+
+    def trigger_request(self) -> List[int]:
+        return [8]
+
+    def workload(self, normal_before: int = 25, triggers: int = 1,
+                 normal_between: int = 25, normal_after: int = 25,
+                 seed: int = 42, shutdown: bool = True,
+                 fillers: int = None) -> Workload:
+        """Scenario: normals (incl. LDAP/URL traffic filling the cache
+        and the connection) -> purge -> ``fillers`` static requests
+        (the propagation distance) -> server-status (the failure)."""
+        if fillers is None:
+            fillers = self.DEFAULT_FILLERS
+        rng = DeterministicRNG(seed)
+        wl = Workload(tokens=[])
+
+        def add(req: List[int], trigger: bool = False) -> None:
+            wl.boundaries.append(len(wl.tokens))
+            if trigger:
+                wl.trigger_positions.append(len(wl.tokens))
+            wl.tokens.extend(req)
+
+        def normals(n: int) -> None:
+            for _ in range(n):
+                add(self.normal_request(rng))
+
+        normals(normal_before)
+        add([2, 3])                      # make sure conn holds nodes
+        add([3, 5])
+        for t in range(triggers):
+            add([8], trigger=True)       # purge: the bug-trigger point
+            for _ in range(fillers):
+                add([1, self.FILLER_SIZE])
+            add([9])                     # the failing request
+            normals(normal_between if t < triggers - 1 else normal_after)
+        if shutdown:
+            add(self.shutdown_request())
+        return wl
+
+
+UIR_SOURCE = """
+// apache-uir: injected uninitialized read in a subrequest status
+
+int server_stats = 0;
+int subreq_count = 0;
+
+int checksum(int p, int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + load1(p + i);
+        i = i + 1;
+    }
+    return s;
+}
+
+int handle_static(int size) {
+    int buf = malloc(128);
+    memset(buf, 65, 128);
+    int s = checksum(buf, 128);
+    free(buf);
+    store(server_stats, load(server_stats) + 1);
+    output(size);
+    return s;
+}
+
+int scratch_work(int n) {
+    // auth-module scratch: leaves garbage (incl. a bogus pointer) in
+    // chunks that the subrequest status struct will reuse
+    int i = 0;
+    while (i < n) {
+        int sc = malloc(56);
+        store(sc, 5);                 // nonzero where flags will live
+        store(sc, 8, 12345);          // bogus pointer value
+        store(sc, 16, i);
+        free(sc);
+        i = i + 1;
+    }
+    output(n);
+    return 0;
+}
+
+int run_subrequest(int kind) {
+    int st = malloc(56);
+    if (kind == 1) {
+        store(st, 0);                 // flags initialized on this path
+        store(st, 8, server_stats);
+    }
+    // BUG (injected): kind==2 path forgets to initialize flags/ptr
+    store(st, 16, kind);
+    if (load(st) != 0) {              // uninitialized read of flags
+        int p = load(st, 8);          // uninitialized read of ptr
+        store(p, load(p) + 1);
+    }
+    subreq_count = subreq_count + 1;
+    free(st);
+    output(16);
+    return 0;
+}
+
+int main() {
+    server_stats = malloc(64);
+    store(server_stats, 0);
+    while (1) {
+        int op = input();
+        if (op == 0) { halt(); }
+        if (op == 1) { int size = input(); handle_static(size); }
+        if (op == 4) { int kind = input(); run_subrequest(kind); }
+        if (op == 5) { int n = input(); scratch_work(n); }
+    }
+}
+"""
+
+
+class ApacheUirApp(App):
+    SOURCE = UIR_SOURCE
+    INFO = AppInfo(
+        name="apache-uir",
+        paper_version="2.0.51",
+        bug_description="uninitialized read (injected)",
+        paper_loc="263K",
+        description="web server",
+    )
+    BUG_TYPES = (BugType.UNINIT_READ,)
+    EXPECTED_PATCH_SITES = 1
+    REQUEST_COST_HINT = 700
+
+    def normal_request(self, rng: DeterministicRNG) -> List[int]:
+        roll = rng.random()
+        if roll < 0.7:
+            return [1, rng.randint(64, 400)]
+        return [4, 1]
+
+    def trigger_request(self) -> List[int]:
+        # scratch leaves garbage; the kind==2 subrequest reuses it and
+        # reads the uninitialized flags/pointer
+        return [5, 3, 4, 2]
+
+
+DPW_SOURCE = """
+// apache-dpw: injected dangling pointer write through a timeout entry
+
+int server_stats = 0;
+int timers = 0;        // current timeout entry (may be stale!)
+int routes = 0;        // current route entry
+
+int handle_static(int size) {
+    int buf = malloc(128);
+    memset(buf, 65, 128);
+    free(buf);
+    store(server_stats, load(server_stats) + 1);
+    output(size);
+    return 0;
+}
+
+int conn_open() {
+    // a new connection installs a fresh timeout entry; old entries are
+    // only released by conn_close (the injected bug lives there)
+    int e = malloc(36);
+    store(e, 0);                      // [0] = tick count
+    store(e, 8, 1);                   // [8] = generation
+    timers = e;
+    output(8);
+    return 0;
+}
+
+int conn_close() {
+    if (timers != 0) {
+        free(timers);                 // BUG (injected): entry freed but
+                                      // left on the timer list
+    }
+    output(8);
+    return 0;
+}
+
+int route_update(int id) {
+    int r = malloc(36);
+    store(r, server_stats);           // [0] = pointer the server uses
+    store(r, 8, id);
+    if (routes != 0) {
+        free(routes);
+    }
+    routes = r;
+    output(8);
+    return 0;
+}
+
+int timer_tick() {
+    int e = timers;
+    if (e != 0) {
+        // count := generation + 1; after conn_close this WRITES through
+        // a stale pointer, depositing a small integer over whatever
+        // object reused the chunk
+        store(e, load(e, 8) + 1);
+    }
+    output(4);
+    return 0;
+}
+
+int route_use() {
+    int r = routes;
+    if (r != 0) {
+        int sp = load(r);             // smashed by the dangling write
+        store(sp, load(sp) + 1);
+    }
+    output(4);
+    return 0;
+}
+
+int main() {
+    server_stats = malloc(64);
+    store(server_stats, 0);
+    while (1) {
+        int op = input();
+        if (op == 0) { halt(); }
+        if (op == 1) { int size = input(); handle_static(size); }
+        if (op == 2) { conn_open(); }
+        if (op == 3) { conn_close(); }
+        if (op == 4) { int id = input(); route_update(id); }
+        if (op == 5) { timer_tick(); }
+        if (op == 6) { route_use(); }
+    }
+}
+"""
+
+
+class ApacheDpwApp(App):
+    SOURCE = DPW_SOURCE
+    INFO = AppInfo(
+        name="apache-dpw",
+        paper_version="2.0.51",
+        bug_description="dangling pointer write (injected)",
+        paper_loc="263K",
+        description="web server",
+    )
+    BUG_TYPES = (BugType.DANGLING_WRITE,)
+    EXPECTED_PATCH_SITES = 1
+    REQUEST_COST_HINT = 400
+
+    def normal_request(self, rng: DeterministicRNG) -> List[int]:
+        roll = rng.random()
+        if roll < 0.5:
+            return [1, rng.randint(64, 400)]
+        if roll < 0.7:
+            return [2, 5]            # open + tick: entry is live
+        if roll < 0.9:
+            return [4, rng.randint(1, 99), 6]
+        return [5]
+
+    def trigger_request(self) -> List[int]:
+        # close frees the entry but leaves it listed; the next route
+        # allocation reuses the chunk; the tick then writes through the
+        # stale pointer, smashing the route; route_use crashes.
+        return [2,           # open (fresh entry)
+                3,           # close: free, entry stays on the list
+                4, 7,        # route reuses the freed chunk
+                5,           # dangling write smashes route[0]
+                6]           # route_use dereferences the damage

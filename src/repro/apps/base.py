@@ -1,0 +1,119 @@
+"""Application framework.
+
+An :class:`App` couples a MiniC program with workload generation.  The
+input protocol is a flat token stream; each request is a short token
+sequence beginning with an opcode, and token ``0`` as an opcode shuts
+the application down cleanly.  Applications emit one OUT value per
+completed request (the "bytes served"), which the throughput experiment
+(Figure 4) bins over time.
+
+Workloads carry request boundary offsets so the restart baseline can
+resynchronize the stream after losing a process mid-request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.bugtypes import BugType
+from repro.lang import compile_program
+from repro.util.rng import DeterministicRNG
+from repro.vm.program import Program
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """Static description (one Table 2 row)."""
+
+    name: str
+    paper_version: str
+    bug_description: str
+    paper_loc: str
+    description: str
+
+
+@dataclass
+class Workload:
+    """A generated token stream plus request boundaries."""
+
+    tokens: List[int]
+    boundaries: List[int] = field(default_factory=list)  # request starts
+    trigger_positions: List[int] = field(default_factory=list)
+
+    def next_boundary_after(self, cursor: int) -> int:
+        """First request boundary at or after ``cursor`` (used by the
+        restart baseline to resync a torn stream)."""
+        for b in self.boundaries:
+            if b >= cursor:
+                return b
+        return len(self.tokens)
+
+
+class App:
+    """Base class: subclasses provide SOURCE, INFO, bug ground truth,
+    and request generators."""
+
+    SOURCE: str = ""
+    INFO: Optional[AppInfo] = None
+    BUG_TYPES: Tuple[BugType, ...] = ()
+    EXPECTED_PATCH_SITES: int = 0
+    #: instructions a normal request roughly costs (used by experiments
+    #: to size workloads relative to checkpoint intervals)
+    REQUEST_COST_HINT: int = 500
+
+    def __init__(self) -> None:
+        self._program: Optional[Program] = None
+
+    @property
+    def name(self) -> str:
+        return self.INFO.name
+
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = compile_program(self.SOURCE, self.INFO.name)
+        return self._program
+
+    # -- request generators (override) -----------------------------------
+
+    def normal_request(self, rng: DeterministicRNG) -> List[int]:
+        raise NotImplementedError
+
+    def trigger_request(self) -> List[int]:
+        raise NotImplementedError
+
+    def shutdown_request(self) -> List[int]:
+        return [0]
+
+    # -- workload assembly -------------------------------------------------
+
+    def workload(self, normal_before: int = 20, triggers: int = 1,
+                 normal_between: int = 20, normal_after: int = 20,
+                 seed: int = 42, shutdown: bool = True) -> Workload:
+        """normal requests, then ``triggers`` trigger requests separated
+        by ``normal_between`` normal ones, then a normal tail."""
+        rng = DeterministicRNG(seed)
+        wl = Workload(tokens=[])
+
+        def add(req: Sequence[int], trigger: bool = False) -> None:
+            wl.boundaries.append(len(wl.tokens))
+            if trigger:
+                wl.trigger_positions.append(len(wl.tokens))
+            wl.tokens.extend(req)
+
+        for _ in range(normal_before):
+            add(self.normal_request(rng))
+        for t in range(triggers):
+            add(self.trigger_request(), trigger=True)
+            tail = normal_between if t < triggers - 1 else normal_after
+            for _ in range(tail):
+                add(self.normal_request(rng))
+        if shutdown:
+            add(self.shutdown_request())
+        return wl
+
+    def normal_workload(self, requests: int = 200,
+                        seed: int = 42) -> Workload:
+        """Trigger-free workload for the overhead experiments."""
+        return self.workload(normal_before=requests, triggers=0,
+                             normal_after=0, seed=seed)

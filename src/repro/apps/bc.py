@@ -1,0 +1,181 @@
+"""BC 1.06 -- two buffer overflows, three patched call-sites.
+
+The real bugs (paper Table 2/3): bc 1.06 has the well-known
+``more_arrays()`` off-by-one -- growing the array storage copies one
+element too many -- plus a second overflow in number-to-string
+formatting.  The paper's First-Aid run patches *three* allocation
+call-sites: ``more_arrays`` is reached from two different callers
+(statement execution and function definition), so its buffer gets two
+distinct multi-level call-sites, and the format buffer adds the third.
+
+The model: the grown array buffer overflows into the symbol-table
+object, the format buffer overflows into the output-state object; both
+victims hold pointers dereferenced by ``flush_line``, so the calculator
+crashes after a crafted script line.  One trigger line exercises both
+callers of ``more_arrays`` and the formatter before any victim pointer
+is used, so all three overflows are inside the failure window.
+
+Request protocol (one "script line" per request):
+
+* ``1 <a> <b>`` -- arithmetic (safe)
+* ``2 <idx> <val>`` -- array assignment; idx >= 6 grows storage (bug)
+* ``3 <idx>`` -- function definition with array param; idx >= 6 grows
+  storage via the second caller (bug)
+* ``4 <val>`` -- print val; huge values overflow the format buffer
+* ``5`` -- flush output (dereferences the victim pointers)
+* ``0`` -- shutdown
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import App, AppInfo
+from repro.core.bugtypes import BugType
+from repro.util.rng import DeterministicRNG
+
+SOURCE = """
+// bc: calculator with the more_arrays off-by-one and a format overflow
+
+int symtab = 0;       // [0]=ptr to globals block, [8]=entries
+int outstate = 0;     // [0]=ptr to line buffer, [8]=column
+int globals_blk = 0;
+int line_buf = 0;
+int arrays = 0;       // current array storage (grown by more_arrays)
+int acc = 0;
+
+int more_arrays(int count) {
+    // BUG (bc 1.06): storage for `count` elements but the copy loop
+    // runs to count+2 ("v_count+1" in the original, amplified by the
+    // 8-byte element size here).
+    int store_new = malloc(count * 8);
+    int i = 0;
+    while (i < count + 3) {
+        store(store_new + i * 8, 11111);
+        i = i + 1;
+    }
+    if (arrays != 0) {
+        free(arrays);
+    }
+    arrays = store_new;
+    return store_new;
+}
+
+int fmt_number(int val) {
+    // BUG 2: 32-byte digit buffer; digit count is derived from the
+    // value's magnitude without a bound.
+    int digits = val / 100;
+    if (digits < 4) {
+        digits = 4;
+    }
+    int fbuf = malloc(32);
+    int i = 0;
+    while (i < digits) {
+        store1(fbuf + i, 48 + (i % 10));
+        i = i + 1;
+    }
+    int first = load1(fbuf);
+    free(fbuf);
+    return first;
+}
+
+int exec_arith(int a, int b) {
+    acc = a * b + a - b;
+    output(1);
+    return acc;
+}
+
+int exec_array_assign(int idx, int val) {
+    if (idx >= 6) {
+        more_arrays(6);            // caller 1 of the buggy grower
+    }
+    store(arrays, (idx % 6) * 8, val);
+    output(1);
+    return 0;
+}
+
+int exec_func_define(int idx) {
+    if (idx >= 6) {
+        more_arrays(6);            // caller 2 of the buggy grower
+    }
+    store(symtab, 8, load(symtab, 8) + 1);
+    output(1);
+    return 0;
+}
+
+int exec_print(int val) {
+    fmt_number(val);
+    store(outstate, 8, load(outstate, 8) + 1);
+    output(1);
+    return 0;
+}
+
+int flush_line() {
+    int g = load(symtab);          // smashed by more_arrays overflow
+    store(g, load(g) + 1);
+    int lb = load(outstate);       // smashed by fmt_number overflow
+    store(lb, load(lb) + 1);
+    output(1);
+    return 0;
+}
+
+int main() {
+    int hole_a = malloc(48);       // hole below symtab (64-chunk)
+    symtab = malloc(48);
+    int hole_b = malloc(32);       // hole below outstate (48-chunk)
+    outstate = malloc(48);
+    globals_blk = malloc(64);
+    line_buf = malloc(64);
+    store(globals_blk, 0);
+    store(line_buf, 0);
+    store(symtab, globals_blk);
+    store(symtab, 8, 0);
+    store(outstate, line_buf);
+    store(outstate, 8, 0);
+    arrays = malloc(48);
+    memset(arrays, 0, 48);
+    free(hole_a);
+    free(hole_b);
+    while (1) {
+        int op = input();
+        if (op == 0) { halt(); }
+        if (op == 1) { int a = input(); int b = input(); exec_arith(a, b); }
+        if (op == 2) { int i = input(); int v = input(); exec_array_assign(i, v); }
+        if (op == 3) { int i = input(); exec_func_define(i); }
+        if (op == 4) { int v = input(); exec_print(v); }
+        if (op == 5) { flush_line(); }
+    }
+}
+"""
+
+
+class BcApp(App):
+    SOURCE = SOURCE
+    INFO = AppInfo(
+        name="bc",
+        paper_version="1.06",
+        bug_description="two buffer overflows",
+        paper_loc="14K",
+        description="calculator",
+    )
+    BUG_TYPES = (BugType.BUFFER_OVERFLOW,)
+    EXPECTED_PATCH_SITES = 3
+    REQUEST_COST_HINT = 250
+
+    def normal_request(self, rng: DeterministicRNG) -> List[int]:
+        roll = rng.random()
+        if roll < 0.5:
+            return [1, rng.randint(1, 999), rng.randint(1, 999)]
+        if roll < 0.7:
+            return [2, rng.randint(0, 5), rng.randint(1, 99)]
+        if roll < 0.9:
+            return [4, rng.randint(100, 2000)]   # <= 20 digits: safe
+        return [5]
+
+    def trigger_request(self) -> List[int]:
+        # one script line hitting both more_arrays callers, the format
+        # overflow, and then the flush that dereferences the victims
+        return [2, 8, 42,      # grow via caller 1 (overflow into symtab)
+                3, 9,          # grow via caller 2 (site 2)
+                4, 5700,       # 57 digits overflow the 32-byte buffer
+                5]             # flush dereferences the smashed pointers

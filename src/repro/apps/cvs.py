@@ -1,0 +1,122 @@
+"""CVS 1.11.4 -- double free in the commit error path.
+
+The real bug (paper Table 2): CVS's server frees a buffer node and an
+error path later frees the same node again; glibc aborts with "double
+free or corruption".  The model mirrors that: ``do_commit`` releases
+its delta buffer through the shared ``buf_free`` helper and, when the
+commit is flagged invalid, the error cleanup path releases it a second
+time.
+
+Request protocol:
+
+* ``1 <fsize>`` -- checkout (allocate, fill, checksum, free a buffer)
+* ``2 <fsize> <bad>`` -- commit; ``bad=1`` takes the buggy error path
+* ``0`` -- shutdown
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import App, AppInfo
+from repro.core.bugtypes import BugType
+from repro.util.rng import DeterministicRNG
+
+SOURCE = """
+// cvs: version-control server with a double free on the error path
+
+int repo_meta = 0;    // [0]=revision counter, [8]=commits, [16]=checkouts
+
+int buf_free(int b) {
+    // shared buffer release helper (the wrapper both paths go through)
+    free(b);
+    return 0;
+}
+
+int checksum(int p, int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + load1(p + i);
+        i = i + 1;
+    }
+    return s;
+}
+
+int do_checkout(int fsize) {
+    int fbuf = malloc(fsize);
+    memset(fbuf, 70, fsize);            // 'F'
+    int s = checksum(fbuf, fsize);
+    store(repo_meta, 16, load(repo_meta, 16) + 1);
+    buf_free(fbuf);
+    output(fsize);
+    return s;
+}
+
+int do_commit(int fsize, int bad) {
+    int delta = malloc(48);
+    store(delta, fsize);
+    store(delta, 8, load(repo_meta));
+    store(delta, 16, bad);
+    store(repo_meta, load(repo_meta) + 1);
+    store(repo_meta, 8, load(repo_meta, 8) + 1);
+    int rc = 0;
+    if (load(delta, 16) != 0) {
+        rc = 1;                          // validation failed
+    }
+    buf_free(delta);                     // normal cleanup
+    if (rc != 0) {
+        // BUG: error path frees the delta node again (CVS 1.11.4).
+        buf_free(delta);
+    }
+    output(fsize);
+    return rc;
+}
+
+int main() {
+    repo_meta = malloc(64);
+    store(repo_meta, 1);
+    store(repo_meta, 8, 0);
+    store(repo_meta, 16, 0);
+    while (1) {
+        int op = input();
+        if (op == 0) {
+            halt();
+        }
+        if (op == 1) {
+            int fsize = input();
+            do_checkout(fsize);
+        }
+        if (op == 2) {
+            int fsize = input();
+            int bad = input();
+            do_commit(fsize, bad);
+        }
+    }
+}
+"""
+
+
+class CvsApp(App):
+    SOURCE = SOURCE
+    INFO = AppInfo(
+        name="cvs",
+        paper_version="1.11.4",
+        bug_description="double free",
+        paper_loc="114K",
+        description="version control",
+    )
+    BUG_TYPES = (BugType.DOUBLE_FREE,)
+    EXPECTED_PATCH_SITES = 1
+    REQUEST_COST_HINT = 700
+
+    def normal_request(self, rng: DeterministicRNG) -> List[int]:
+        if rng.random() < 0.4:
+            return [2, rng.randint(64, 512), 0]
+        return [1, rng.randint(64, 512)]
+
+    def trigger_request(self) -> List[int]:
+        return [2, 256, 1]
+
+    def shutdown_request(self) -> List[int]:
+        return [0]

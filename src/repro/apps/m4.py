@@ -1,0 +1,202 @@
+"""M4 1.4.4 -- dangling pointer reads in the macro table.
+
+The real bug (paper Table 2): m4 frees a macro's definition text while
+the expansion machinery still holds a pointer to it; the next expansion
+reads freed memory.  The model keeps an expansion cache holding raw
+text pointers; both the *redefine* path and the *popdef* path free the
+old text without invalidating the cache -- two distinct deallocation
+call-sites, matching the paper's ``delay free(2)`` patch for m4.
+
+Each definition text's first word points at the interpreter state
+object, so a *delayed* free leaves cached expansion working on stale
+but valid data (how the paper's patch survives the bug), while real
+reuse overwrites the word with a small integer and the expansion
+dereferences garbage.
+
+Request protocol:
+
+* ``1 <slot> <val>``  -- define macro in slot (allocates text)
+* ``2 <slot>``        -- cache macro for fast expansion
+* ``3 <slot> <val>``  -- redefine macro (frees old text: site A)
+* ``4 <slot>``        -- popdef macro (frees text: site B)
+* ``5 <n>``           -- scratch work: n live temp buffers (reuse)
+* ``6 <which>``       -- expand from cache (reads possibly-stale ptr)
+* ``0``               -- shutdown
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import App, AppInfo
+from repro.core.bugtypes import BugType
+from repro.util.rng import DeterministicRNG
+
+SOURCE = """
+// m4: macro processor with dangling reads through the expansion cache
+
+int def_table = 0;    // 8 slots of text pointers
+int exp_cache = 0;    // 4 slots of cached text pointers (never cleared!)
+int state = 0;        // interpreter state: [0]=expansions, [8]=defines
+int temp_ring = 0;    // 8 slots of live scratch buffers
+int evict_list = 0;   // staging for ring evictions
+int temp_next = 0;
+
+int text_new(int val) {
+    int t = malloc(40);
+    store(t, state);               // texts point back at the state
+    store(t, 8, val);
+    store(t, 16, val * 3);
+    store(state, 8, load(state, 8) + 1);
+    return t;
+}
+
+int text_free(int t) {
+    free(t);
+    return 0;
+}
+
+int do_define(int slot, int val) {
+    int old = load(def_table, slot * 8);
+    if (old != 0) {
+        text_free(old);
+    }
+    store(def_table, slot * 8, text_new(val));
+    output(1);
+    return 0;
+}
+
+int do_cache(int slot) {
+    int t = load(def_table, slot * 8);
+    store(exp_cache, (slot % 4) * 8, t);
+    output(1);
+    return 0;
+}
+
+int do_redefine(int slot, int val) {
+    int nt = text_new(val);
+    int old = load(def_table, slot * 8);
+    if (old != 0) {
+        text_free(old);            // site A: redefine frees old text
+    }
+    store(def_table, slot * 8, nt);
+    output(1);
+    return 0;
+}
+
+int do_popdef(int slot) {
+    int old = load(def_table, slot * 8);
+    if (old != 0) {
+        text_free(old);            // site B: popdef frees text
+        store(def_table, slot * 8, 0);
+    }
+    output(1);
+    return 0;
+}
+
+int do_scratch(int n) {
+    // Expansion temporaries kept live in a ring.  All allocations
+    // happen before any eviction is freed, so fresh temporaries reuse
+    // the most recently freed text chunks (LIFO bins), overwriting
+    // their state-pointer word.
+    int i = 0;
+    while (i < n) {
+        int idx = ((temp_next + i) % 8) * 8;
+        store(evict_list, i * 8, load(temp_ring, idx));
+        int tmp = malloc(40);
+        store(tmp, 7);             // small int where a pointer was
+        store(tmp, 8, 7);
+        store(temp_ring, idx, tmp);
+        i = i + 1;
+    }
+    i = 0;
+    while (i < n) {
+        int old = load(evict_list, i * 8);
+        if (old != 0) {
+            free(old);
+        }
+        store(evict_list, i * 8, 0);
+        i = i + 1;
+    }
+    temp_next = temp_next + n;
+    output(n);
+    return 0;
+}
+
+int do_expand(int which) {
+    int t = load(exp_cache, (which % 4) * 8);
+    if (t == 0) {
+        output(0);
+        return 0;
+    }
+    int sp = load(t);              // stale text -> garbage pointer
+    store(sp, load(sp) + 1);
+    output(load(t, 8));
+    return 0;
+}
+
+int main() {
+    def_table = malloc(64);
+    memset(def_table, 0, 64);
+    exp_cache = malloc(64);
+    memset(exp_cache, 0, 64);
+    state = malloc(64);
+    store(state, 0);
+    store(state, 8, 0);
+    temp_ring = malloc(64);
+    memset(temp_ring, 0, 64);
+    evict_list = malloc(64);
+    memset(evict_list, 0, 64);
+    while (1) {
+        int op = input();
+        if (op == 0) { halt(); }
+        if (op == 1) { int s = input(); int v = input(); do_define(s, v); }
+        if (op == 2) { int s = input(); do_cache(s); }
+        if (op == 3) { int s = input(); int v = input(); do_redefine(s, v); }
+        if (op == 4) { int s = input(); do_popdef(s); }
+        if (op == 5) { int n = input(); do_scratch(n); }
+        if (op == 6) { int w = input(); do_expand(w); }
+    }
+}
+"""
+
+
+class M4App(App):
+    SOURCE = SOURCE
+    INFO = AppInfo(
+        name="m4",
+        paper_version="1.4.4",
+        bug_description="dangling pointer read",
+        paper_loc="17K",
+        description="macro processor",
+    )
+    BUG_TYPES = (BugType.DANGLING_READ,)
+    EXPECTED_PATCH_SITES = 2
+    REQUEST_COST_HINT = 300
+
+    def normal_request(self, rng: DeterministicRNG) -> List[int]:
+        roll = rng.random()
+        slot = rng.randint(4, 7)   # normal traffic stays off slots 0-3
+        if roll < 0.4:
+            return [1, slot, rng.randint(1, 1000)]
+        if roll < 0.6:
+            return [5, rng.randint(1, 4)]
+        if roll < 0.8:
+            # define + immediately cache + expand: cache is fresh, safe
+            return [1, slot, rng.randint(1, 1000), 2, slot, 6, slot]
+        return [4, slot]
+
+    def trigger_request(self) -> List[int]:
+        # define 1,2 -> cache both -> redefine 1 (site A) + popdef 2
+        # (site B) -> scratch reuse -> expand both stale cache entries.
+        return [
+            1, 1, 11,
+            1, 2, 22,
+            2, 1,
+            2, 2,
+            3, 1, 33,      # frees old text of slot 1 (site A)
+            4, 2,          # frees text of slot 2 (site B)
+            5, 4,          # scratch buffers reuse the freed chunks
+            6, 1,          # stale expansion -> crash here unpatched
+            6, 2,          # needs site B patched too
+        ]

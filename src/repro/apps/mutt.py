@@ -1,0 +1,117 @@
+"""Mutt 1.3.99i -- buffer overflow in UTF-8 folder-name conversion.
+
+The real bug: mutt's ``utf8_to_utf7`` conversion for IMAP folder names
+can expand the name beyond the allocated buffer.  The model converts
+an unchecked folder-name length into a 96-byte buffer that sits (via
+startup hole reuse) below the account object whose first word is a
+pointer used by every mailbox poll.
+
+Request protocol:
+
+* ``1 <name_len> <msg_size>`` -- open folder, fetch one message
+* ``2 <n>`` -- poll n mailboxes (read-only churn)
+* ``0`` -- shutdown
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import App, AppInfo
+from repro.core.bugtypes import BugType
+from repro.util.rng import DeterministicRNG
+
+SOURCE = """
+// mutt: mail client with a utf8->utf7 conversion overflow
+
+int account = 0;      // [0]=ptr to connection, [8]=polls
+int connection = 0;   // [0]=socket id, [8]=bytes
+int maildirs = 0;
+
+int utf7_convert(int nlen) {
+    // BUG: conversion buffer is 96 bytes; UTF-7 expansion of a long
+    // folder name exceeds it (Mutt 1.3.99i).
+    int conv = malloc(96);
+    int i = 0;
+    while (i < nlen) {
+        store1(conv + i, 43);         // '+', UTF-7 shift char
+        i = i + 1;
+    }
+    int tag = load1(conv) + load1(conv + 64);
+    free(conv);
+    return tag;
+}
+
+int open_folder(int nlen, int msize) {
+    utf7_convert(nlen);
+    int msg = malloc(msize);
+    memset(msg, 66, msize);           // 'B'
+    int conn = load(account);         // smashed by the overflow
+    store(conn, 8, load(conn, 8) + msize);
+    free(msg);
+    output(msize);
+    return 0;
+}
+
+int poll_mailboxes(int n) {
+    int i = 0;
+    int seen = 0;
+    while (i < n) {
+        seen = seen + load(maildirs, (i % 4) * 8);
+        i = i + 1;
+    }
+    store(account, 8, load(account, 8) + 1);
+    output(1);
+    return seen;
+}
+
+int main() {
+    int scratch = malloc(96);         // hole below account
+    account = malloc(64);
+    connection = malloc(64);
+    maildirs = malloc(64);
+    memset(maildirs, 0, 64);
+    store(connection, 7);
+    store(connection, 8, 0);
+    store(account, connection);
+    store(account, 8, 0);
+    free(scratch);
+    while (1) {
+        int op = input();
+        if (op == 0) {
+            halt();
+        }
+        if (op == 1) {
+            int nlen = input();
+            int msize = input();
+            open_folder(nlen, msize);
+        }
+        if (op == 2) {
+            int n = input();
+            poll_mailboxes(n);
+        }
+    }
+}
+"""
+
+
+class MuttApp(App):
+    SOURCE = SOURCE
+    INFO = AppInfo(
+        name="mutt",
+        paper_version="1.3.99i",
+        bug_description="buffer overflow",
+        paper_loc="86K",
+        description="email client",
+    )
+    BUG_TYPES = (BugType.BUFFER_OVERFLOW,)
+    EXPECTED_PATCH_SITES = 1
+    REQUEST_COST_HINT = 450
+
+    def normal_request(self, rng: DeterministicRNG) -> List[int]:
+        if rng.random() < 0.25:
+            return [2, rng.randint(2, 10)]
+        return [1, rng.randint(8, 88), rng.randint(200, 1500)]
+
+    def trigger_request(self) -> List[int]:
+        return [1, 128, 600]

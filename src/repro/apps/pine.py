@@ -1,0 +1,115 @@
+"""Pine 4.44 -- buffer overflow in address expansion.
+
+The real bug: Pine's ``rfc822_cat`` / address-book expansion
+underestimates the quoted length of a From: address and overflows a
+heap buffer when displaying a message with a crafted address.  The
+model builds an 80-byte display header from an unchecked address
+length; the overflow runs over the mailbox index object whose first
+word points at the open-mailbox state.
+
+Request protocol:
+
+* ``1 <addr_len> <body_size>`` -- open/read a message
+* ``2`` -- refile a message (allocate/free churn)
+* ``0`` -- shutdown
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import App, AppInfo
+from repro.core.bugtypes import BugType
+from repro.util.rng import DeterministicRNG
+
+SOURCE = """
+// pine: email client with an address-expansion overflow
+
+int mbox_index = 0;   // [0]=ptr to mbox state, [8]=messages read
+int mbox_state = 0;   // [0]=open flag, [8]=current msg
+int folders = 0;      // folder table
+
+int expand_address(int alen) {
+    // BUG: display header is 80 bytes; quoted address length is
+    // computed elsewhere and trusted here (Pine 4.44).
+    int hdr = malloc(80);
+    int i = 0;
+    while (i < alen) {
+        store1(hdr + i, 64);          // '@'
+        i = i + 1;
+    }
+    int width = load1(hdr) + load1(hdr + 40);
+    free(hdr);
+    return width;
+}
+
+int read_message(int alen, int body) {
+    expand_address(alen);
+    int msg = malloc(body);
+    memset(msg, 77, body);            // 'M'
+    int st = load(mbox_index);        // smashed by the overflow
+    store(st, 8, load(st, 8) + 1);
+    store(mbox_index, 8, load(mbox_index, 8) + 1);
+    free(msg);
+    output(body);
+    return 0;
+}
+
+int refile() {
+    int tmp = malloc(160);
+    memset(tmp, 82, 160);             // 'R'
+    free(tmp);
+    output(1);
+    return 0;
+}
+
+int main() {
+    int scratch = malloc(80);         // hole below mbox_index
+    mbox_index = malloc(64);
+    mbox_state = malloc(64);
+    folders = malloc(128);
+    memset(folders, 0, 128);
+    store(mbox_state, 1);
+    store(mbox_state, 8, 0);
+    store(mbox_index, mbox_state);
+    store(mbox_index, 8, 0);
+    free(scratch);
+    while (1) {
+        int op = input();
+        if (op == 0) {
+            halt();
+        }
+        if (op == 1) {
+            int alen = input();
+            int body = input();
+            read_message(alen, body);
+        }
+        if (op == 2) {
+            refile();
+        }
+    }
+}
+"""
+
+
+class PineApp(App):
+    SOURCE = SOURCE
+    INFO = AppInfo(
+        name="pine",
+        paper_version="4.44",
+        bug_description="buffer overflow",
+        paper_loc="330K",
+        description="email client",
+    )
+    BUG_TYPES = (BugType.BUFFER_OVERFLOW,)
+    EXPECTED_PATCH_SITES = 1
+    REQUEST_COST_HINT = 500
+
+    def normal_request(self, rng: DeterministicRNG) -> List[int]:
+        if rng.random() < 0.2:
+            return [2]
+        return [1, rng.randint(16, 72), rng.randint(256, 2048)]
+
+    def trigger_request(self) -> List[int]:
+        # 80-byte buffer + 16-byte chunk header + the index pointer.
+        return [1, 112, 512]

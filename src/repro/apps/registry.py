@@ -1,0 +1,44 @@
+"""Application registry (populated as app modules are written)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.apps.base import App
+
+_REGISTRY: Dict[str, Type[App]] = {}
+
+
+def register(app_cls: Type[App]) -> Type[App]:
+    _REGISTRY[app_cls.INFO.name] = app_cls
+    return app_cls
+
+
+def _populate() -> None:
+    # Imports deferred to avoid import cycles with repro.apps.base.
+    from repro.apps import apache, bc, cvs, m4, mutt, pine, squid
+    for module in (apache, bc, cvs, m4, mutt, pine, squid):
+        for name in dir(module):
+            obj = getattr(module, name)
+            if (isinstance(obj, type) and issubclass(obj, App)
+                    and obj is not App and obj.INFO is not None):
+                _REGISTRY.setdefault(obj.INFO.name, obj)
+
+
+def get_app(name: str) -> App:
+    if not _REGISTRY:
+        _populate()
+    return _REGISTRY[name]()
+
+
+def all_apps() -> List[App]:
+    if not _REGISTRY:
+        _populate()
+    return [cls() for _, cls in sorted(_REGISTRY.items())]
+
+
+def real_bug_apps() -> List[App]:
+    """The seven apps with developer-introduced bugs (Table 4 set):
+    excludes the two injected Apache variants."""
+    return [app for app in all_apps()
+            if app.INFO.name not in ("apache-uir", "apache-dpw")]

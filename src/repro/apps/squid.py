@@ -1,0 +1,152 @@
+"""Squid 2.3 -- buffer overflow in FTP title building.
+
+The real bug (paper Table 2): Squid's ``ftpBuildTitleUrl`` undersizes
+the title buffer it builds for FTP directory listings; a long URL
+overflows it on the heap.  The model reproduces the structure: a
+fixed 32-byte title buffer filled from an unchecked URL length, sitting
+(after steady-state chunk reuse) directly below the cache metadata
+object whose first word is a pointer the per-request accounting
+dereferences.  An overflowing URL smashes that pointer and the process
+segfaults within the same request.
+
+Request protocol (tokens):
+
+* ``1 <url_len> <obj_size>`` -- fetch an object through the cache
+* ``2`` -- cache maintenance (purges one table slot)
+* ``0`` -- shutdown
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import App, AppInfo
+from repro.core.bugtypes import BugType
+from repro.util.rng import DeterministicRNG
+
+SOURCE = """
+// squid: proxy cache with an ftpBuildTitleUrl-style overflow
+
+int cache_table = 0;   // 8 pointer slots for cached entries
+int cache_meta = 0;    // [0]=ptr to stats, [8]=hits, [16]=next slot
+int stats = 0;         // [0]=requests, [8]=bytes served
+
+int checksum(int p, int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + load1(p + i);
+        i = i + 1;
+    }
+    return s;
+}
+
+int ftp_build_title(int len) {
+    // BUG: title is fixed at 32 bytes but len is never checked
+    // (Squid 2.3 ftpBuildTitleUrl length underestimation).
+    int title = malloc(32);
+    int i = 0;
+    while (i < len) {
+        store1(title + i, 85);       // 'U'
+        i = i + 1;
+    }
+    int s = checksum(title, 32);
+    free(title);
+    return s;
+}
+
+int stats_bump(int size) {
+    int sp = load(cache_meta);       // pointer smashed by the overflow
+    store(sp, load(sp) + 1);
+    store(sp, 8, load(sp, 8) + size);
+    store(cache_meta, 8, load(cache_meta, 8) + 1);
+    return 0;
+}
+
+int cache_store(int size) {
+    int e = malloc(48);
+    store(e, size);
+    store(e, 8, load(cache_meta, 16));
+    int slot = load(cache_meta, 16) % 8;
+    int old = load(cache_table, slot * 8);
+    if (old != 0) {
+        free(old);
+    }
+    store(cache_table, slot * 8, e);
+    store(cache_meta, 16, load(cache_meta, 16) + 1);
+    return e;
+}
+
+int handle_fetch(int len, int size) {
+    ftp_build_title(len);
+    cache_store(size);
+    stats_bump(size);
+    output(size);
+    return 0;
+}
+
+int handle_maintenance() {
+    int slot = load(cache_meta, 16) % 8;
+    int old = load(cache_table, slot * 8);
+    if (old != 0) {
+        free(old);
+        store(cache_table, slot * 8, 0);
+    }
+    output(1);
+    return 0;
+}
+
+int main() {
+    // Startup: the scratch buffer leaves a 64-payload hole directly
+    // below cache_meta once freed; per-request title buffers reuse it.
+    int scratch = malloc(32);
+    cache_meta = malloc(64);
+    stats = malloc(64);
+    cache_table = malloc(64);
+    memset(cache_table, 0, 64);
+    store(stats, 0);
+    store(stats, 8, 0);
+    store(cache_meta, stats);
+    store(cache_meta, 8, 0);
+    store(cache_meta, 16, 0);
+    free(scratch);
+    while (1) {
+        int op = input();
+        if (op == 0) {
+            halt();
+        }
+        if (op == 1) {
+            int len = input();
+            int size = input();
+            handle_fetch(len, size);
+        }
+        if (op == 2) {
+            handle_maintenance();
+        }
+    }
+}
+"""
+
+
+class SquidApp(App):
+    SOURCE = SOURCE
+    INFO = AppInfo(
+        name="squid",
+        paper_version="2.3",
+        bug_description="buffer overflow",
+        paper_loc="93K",
+        description="proxy cache",
+    )
+    BUG_TYPES = (BugType.BUFFER_OVERFLOW,)
+    EXPECTED_PATCH_SITES = 1
+    REQUEST_COST_HINT = 450
+
+    def normal_request(self, rng: DeterministicRNG) -> List[int]:
+        if rng.random() < 0.15:
+            return [2]
+        return [1, rng.randint(4, 24), rng.randint(512, 4096)]
+
+    def trigger_request(self) -> List[int]:
+        # URL long enough to run over the title buffer, the next chunk
+        # header, and the cache_meta stats pointer.
+        return [1, 64, 1024]

@@ -1,0 +1,14 @@
+"""Baseline recovery systems the paper compares against (Section 7.3).
+
+* :class:`~repro.baselines.rx.RxRuntime` -- Rx (SOSP'05): rollback +
+  whole-heap environmental changes, *disabled* after the failure is
+  survived, so the same bug strikes again on the next trigger.
+* :class:`~repro.baselines.restart.RestartRuntime` -- classic
+  whole-program restart: the process is relaunched after every crash
+  and deterministic bug-triggering inputs keep killing it.
+"""
+
+from repro.baselines.restart import RestartRuntime
+from repro.baselines.rx import RxRecovery, RxRuntime
+
+__all__ = ["RxRuntime", "RxRecovery", "RestartRuntime"]

@@ -1,0 +1,85 @@
+"""Whole-program restart baseline (Gray 1986 style).
+
+On every crash, the process is relaunched from scratch.  The in-flight
+request is lost (the stream is resynchronized at the next request
+boundary) and the restart costs real downtime; a deterministic
+bug-triggering input will crash the fresh process again the next time
+it arrives, producing the repeating throughput collapses of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.apps.base import Workload
+from repro.heap.extension import ExtensionMode
+from repro.process import Process
+from repro.util.events import EventLog
+from repro.util.simclock import CostModel, SimClock
+from repro.vm.io import OutputLog
+from repro.vm.machine import RunReason
+from repro.vm.program import Program
+
+#: Simulated downtime of one restart: process teardown, exec, startup,
+#: cache warmup.  2 simulated seconds, a conservative figure for a
+#: 2005-era server restart.
+RESTART_DOWNTIME_NS = 2_000_000_000
+
+
+@dataclass
+class RestartSessionResult:
+    reason: str
+    restarts: int = 0
+    crash_times_ns: List[int] = field(default_factory=list)
+
+
+class RestartRuntime:
+    """Run a program under crash-and-restart."""
+
+    def __init__(self, program: Program, workload: Workload,
+                 costs: Optional[CostModel] = None,
+                 events: Optional[EventLog] = None,
+                 max_restarts: int = 100):
+        self.program = program
+        self.workload = workload
+        self.costs = costs or CostModel()
+        self.events = events if events is not None else EventLog()
+        self.max_restarts = max_restarts
+        self.clock = SimClock()           # survives restarts
+        self.output = OutputLog()         # aggregated across processes
+        self._cursor = 0                  # position in the token stream
+
+    def _spawn(self) -> Process:
+        tokens = self.workload.tokens[self._cursor:]
+        return Process(self.program, input_tokens=tokens,
+                       mode=ExtensionMode.OFF, costs=self.costs,
+                       clock=self.clock, output=self.output)
+
+    def run(self) -> RestartSessionResult:
+        result = RestartSessionResult(reason="halt")
+        restarts = 0
+        while True:
+            process = self._spawn()
+            run = process.run()
+            consumed = process.input.cursor
+            if run.reason in (RunReason.HALT, RunReason.INPUT_EXHAUSTED):
+                result.reason = ("halt" if run.reason is RunReason.HALT
+                                 else "input")
+                result.restarts = restarts
+                return result
+            # Crash: lose the in-flight request, resync at the next
+            # boundary, pay the restart downtime.
+            restarts += 1
+            result.crash_times_ns.append(self.clock.now_ns)
+            self.events.emit(self.clock.now_ns, "restart.crash",
+                             n=restarts,
+                             fault=run.fault.describe() if run.fault
+                             else "?")
+            self.clock.charge(RESTART_DOWNTIME_NS)
+            absolute = self._cursor + consumed
+            self._cursor = self.workload.next_boundary_after(absolute + 1)
+            if restarts >= self.max_restarts:
+                result.reason = "gave-up"
+                result.restarts = restarts
+                return result

@@ -1,0 +1,40 @@
+"""Experiment harness: regenerates every table and figure of the
+paper's evaluation (Section 7).
+
+Each experiment is a function in :mod:`repro.bench.experiments`
+returning an :class:`~repro.bench.tables.ExperimentResult`; the
+``benchmarks/`` tree wraps them in pytest-benchmark entries, and
+``python -m repro.bench`` runs them from the command line and rebuilds
+EXPERIMENTS.md.
+"""
+
+from repro.bench.tables import ExperimentResult, render_table
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    figure4_throughput,
+    figure5_report,
+    figure6_overhead,
+    run_experiment,
+    table2_inventory,
+    table3_effectiveness,
+    table4_accuracy,
+    table5_patch_space,
+    table6_allocator_space,
+    table7_checkpoint_space,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "render_table",
+    "EXPERIMENTS",
+    "run_experiment",
+    "table2_inventory",
+    "table3_effectiveness",
+    "table4_accuracy",
+    "table5_patch_space",
+    "table6_allocator_space",
+    "table7_checkpoint_space",
+    "figure4_throughput",
+    "figure5_report",
+    "figure6_overhead",
+]

@@ -1,0 +1,53 @@
+"""CLI: run experiments and print (or save) the regenerated tables.
+
+Usage::
+
+    python -m repro.bench                  # run everything
+    python -m repro.bench table3 figure4   # run a subset
+    python -m repro.bench --write-md PATH  # also write a markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables/figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help=f"subset of {sorted(EXPERIMENTS)}; "
+                        "default: all")
+    parser.add_argument("--write-md", metavar="PATH",
+                        help="write a markdown report to PATH")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or sorted(EXPERIMENTS)
+    sections = []
+    for name in names:
+        t0 = time.time()
+        result = run_experiment(name)
+        elapsed = time.time() - t0
+        body = result.render()
+        print(body)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+        sections.append((name, result, elapsed, body))
+
+    if args.write_md:
+        with open(args.write_md, "w") as handle:
+            handle.write("# Regenerated evaluation\n\n")
+            for name, result, elapsed, body in sections:
+                handle.write(f"## {result.exp_id}: {result.title}\n\n")
+                handle.write("```\n" + body + "\n```\n\n")
+                handle.write(f"_regenerated in {elapsed:.1f}s_\n\n")
+        print(f"wrote {args.write_md}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

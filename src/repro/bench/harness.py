@@ -1,0 +1,172 @@
+"""Shared experiment plumbing: session runners, workload spacing, and
+the cached three-configuration overhead sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.base import App, Workload
+from repro.apps.registry import all_apps, real_bug_apps
+from repro.baselines.restart import RestartRuntime, RestartSessionResult
+from repro.baselines.rx import RxRuntime, RxSessionResult
+from repro.checkpoint.manager import DEFAULT_INTERVAL, CheckpointManager
+from repro.core.runtime import FirstAidConfig, FirstAidRuntime, SessionResult
+from repro.heap.extension import ExtensionMode
+from repro.process import Process
+from repro.vm.program import Program
+from repro.workloads import ALLOC_INTENSIVE, SPEC_INT2000, build_kernel
+
+#: Failure-window length used to space triggers so each one is a
+#: separate failure (3 checkpoint intervals, as in diagnosis).
+WINDOW_INSTRS = 3 * DEFAULT_INTERVAL
+
+
+def spaced_workload(app: App, triggers: int = 2,
+                    seed: int = 42) -> Workload:
+    """A workload whose triggers are far enough apart that each one
+    fires outside the previous failure region."""
+    spacing = max(40, int(WINDOW_INSTRS * 1.4 / app.REQUEST_COST_HINT))
+    return app.workload(normal_before=40, triggers=triggers,
+                        normal_between=spacing, normal_after=40,
+                        seed=seed)
+
+
+def run_first_aid(app: App, workload: Optional[Workload] = None,
+                  triggers: int = 2,
+                  config: Optional[FirstAidConfig] = None
+                  ) -> Tuple[FirstAidRuntime, SessionResult, Workload]:
+    wl = workload or spaced_workload(app, triggers)
+    runtime = FirstAidRuntime(app.program(), input_tokens=wl.tokens,
+                              config=config or FirstAidConfig())
+    session = runtime.run()
+    return runtime, session, wl
+
+
+def run_rx(app: App, workload: Optional[Workload] = None,
+           triggers: int = 2) -> Tuple[RxRuntime, RxSessionResult,
+                                       Workload]:
+    wl = workload or spaced_workload(app, triggers)
+    runtime = RxRuntime(app.program(), input_tokens=wl.tokens)
+    session = runtime.run()
+    return runtime, session, wl
+
+
+def run_restart(app: App, workload: Optional[Workload] = None,
+                triggers: int = 2) -> Tuple[RestartRuntime,
+                                            RestartSessionResult,
+                                            Workload]:
+    wl = workload or spaced_workload(app, triggers)
+    runtime = RestartRuntime(app.program(), wl)
+    session = runtime.run()
+    return runtime, session, wl
+
+
+# ---------------------------------------------------------------------
+# overhead sweep (Figure 6, Tables 6-7)
+# ---------------------------------------------------------------------
+
+@dataclass
+class Subject:
+    """One program in the overhead experiments."""
+
+    name: str
+    group: str       # "app" | "spec" | "alloc"
+    program: Program
+    tokens: List[int]
+
+
+@dataclass
+class OverheadRun:
+    """Measurements of one (subject, configuration) run."""
+
+    time_s: float
+    instrs: int
+    peak_heap_bytes: int
+    peak_metadata_bytes: int
+    bytes_per_checkpoint: float = 0.0
+    bytes_per_second: float = 0.0
+    checkpoints: int = 0
+
+
+_SUBJECTS: Optional[List[Subject]] = None
+_RUN_CACHE: Dict[Tuple[str, str], OverheadRun] = {}
+
+
+def overhead_subjects() -> List[Subject]:
+    """The paper's Figure 6 population: the seven real-bug apps, the
+    SPEC INT2000 kernels, and the four allocation-intensive kernels."""
+    global _SUBJECTS
+    if _SUBJECTS is None:
+        subjects: List[Subject] = []
+        for app in real_bug_apps():
+            requests = max(120, 220_000 // app.REQUEST_COST_HINT)
+            wl = app.normal_workload(requests=requests)
+            subjects.append(Subject(app.name, "app", app.program(),
+                                    wl.tokens))
+        for profile in SPEC_INT2000 + ALLOC_INTENSIVE:
+            subjects.append(Subject(profile.name, profile.group,
+                                    build_kernel(profile), []))
+        _SUBJECTS = subjects
+    return _SUBJECTS
+
+
+def overhead_run(subject: Subject, config: str) -> OverheadRun:
+    """Run a subject under one configuration (cached):
+
+    * ``"off"``  -- original allocator, no checkpointing;
+    * ``"ext"``  -- allocator extension in normal mode (empty pool);
+    * ``"full"`` -- extension + periodic checkpointing.
+    """
+    key = (subject.name, config)
+    if key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    mode = ExtensionMode.OFF if config == "off" else ExtensionMode.NORMAL
+    process = Process(subject.program, input_tokens=subject.tokens,
+                      mode=mode)
+    run = OverheadRun(0.0, 0, 0, 0)
+    if config == "full":
+        manager = CheckpointManager(process)
+        manager.run()
+        stats = manager.stats
+        run.bytes_per_checkpoint = stats.bytes_per_checkpoint
+        run.bytes_per_second = stats.bytes_per_second(
+            process.costs.instr_ns)
+        run.checkpoints = stats.checkpoints_taken
+    else:
+        process.run()
+    run.time_s = process.clock.now_s
+    run.instrs = process.instr_count
+    run.peak_heap_bytes = process.allocator.peak_heap_bytes
+    run.peak_metadata_bytes = process.extension.peak_metadata_bytes
+    _RUN_CACHE[key] = run
+    return run
+
+
+def clear_overhead_cache() -> None:
+    """Testing hook."""
+    _RUN_CACHE.clear()
+    global _SUBJECTS
+    _SUBJECTS = None
+
+
+# ---------------------------------------------------------------------
+# throughput binning (Figure 4)
+# ---------------------------------------------------------------------
+
+def throughput_series(entries: List[Tuple[int, int]],
+                      bin_seconds: float = 1.0,
+                      total_seconds: Optional[float] = None
+                      ) -> List[float]:
+    """Bin (time_ns, bytes) output entries into MB/s per bin."""
+    if not entries and total_seconds is None:
+        return []
+    end_s = total_seconds if total_seconds is not None else \
+        entries[-1][0] / 1e9 + bin_seconds
+    n_bins = max(1, int(end_s / bin_seconds) + 1)
+    bins = [0.0] * n_bins
+    for t_ns, value in entries:
+        idx = int(t_ns / 1e9 / bin_seconds)
+        if 0 <= idx < n_bins:
+            bins[idx] += value
+    return [b / (bin_seconds * 1e6) for b in bins]

@@ -1,0 +1,85 @@
+"""The paper's published numbers, for side-by-side comparison in the
+regenerated tables (EXPERIMENTS.md records ours vs. theirs).
+
+Source: Gao, Zhang, Tang, Qin -- "First-Aid: Surviving and Preventing
+Memory Management Bugs during Production Runs", EuroSys 2009,
+Tables 2-7.  Absolute values come from a 2005-era Xeon testbed and the
+real applications; this reproduction targets the *shape* (orderings,
+ratios, crossovers), not the absolute numbers.
+"""
+
+from __future__ import annotations
+
+#: Table 3: (diagnosed bug, patch "desc(count)", recovery s,
+#:           avoid future errors, rollbacks, validation s)
+TABLE3 = {
+    "apache": ("dangling pointer read", "delay free(7)", 3.978, "Yes",
+               28, 9.620),
+    "squid": ("buffer overflow", "add padding(1)", 0.386, "Yes", 7,
+              14.198),
+    "cvs": ("double free", "delay free(1)", 0.121, "Yes", 6, 3.887),
+    "pine": ("buffer overflow", "add padding(1)", 0.722, "Yes", 7,
+             18.276),
+    "mutt": ("buffer overflow", "add padding(1)", 0.617, "Yes", 7,
+             10.610),
+    "m4": ("dangling pointer reads", "delay free(2)", 1.396, "Yes", 18,
+           3.407),
+    "bc": ("two buffer overflows", "add padding(3)", 0.573, "Yes", 6,
+           2.625),
+    "apache-uir": ("uninitialized read", "fill with zero(1)", 0.102,
+                   "Yes", 9, 5.750),
+    "apache-dpw": ("dangling pointer write", "delay free(1)", 0.084,
+                   "Yes", 7, 5.718),
+}
+
+#: Table 4: (fa_callsites, rx_callsites, fa_objects, rx_objects)
+TABLE4 = {
+    "apache": (7, 32, 315, 2567),
+    "squid": (1, 61, 1, 3626),
+    "cvs": (1, 44, 17, 306),
+    "pine": (1, 380, 11, 2881),
+    "mutt": (1, 216, 2, 5004),
+    "m4": (2, 8, 3, 183),
+    "bc": (3, 34, 5, 732),
+}
+
+#: Table 5: (heap KB, patch type, space overhead bytes, ratio %)
+TABLE5 = {
+    "squid": (2338, "padding", 1016, 0.04),
+    "pine": (651, "padding", 1016, 0.15),
+    "mutt": (353, "padding", 1016, 0.28),
+    "bc": (61, "padding", 3048, 4.96),
+    "apache": (825, "delay free", 14512, 1.72),
+    "cvs": (292, "delay free", 1496, 0.50),
+    "m4": (16343, "delay free", 128, 0.0008),
+}
+
+#: Table 6: allocator-extension heap overhead percent.
+TABLE6_OVERHEAD_PCT = {
+    "apache": 0.49, "squid": 3.24, "cvs": 0.00, "mutt": 13.62,
+    "pine": 54.09, "m4": 0.25, "bc": 6.78, "cfrac": 93.17,
+    "espresso": 30.15, "lindsay": 0.22, "p2c": 55.10,
+    "164.gzip": 0.00, "175.vpr": 2.76, "176.gcc": 0.08, "181.mcf": 0.00,
+    "186.crafty": 0.00, "197.parser": 0.00, "252.eon": 1.89,
+    "253.perlbmk": 10.76, "255.vortex": 0.65, "256.bzip2": 0.00,
+    "300.twolf": 62.88,
+}
+
+#: Table 7: (MB per checkpoint, MB per second).
+TABLE7 = {
+    "apache": (0.068, 0.341), "squid": (0.211, 1.056),
+    "cvs": (1.068, 4.942), "mutt": (0.286, 1.429),
+    "pine": (0.345, 1.728), "m4": (0.222, 1.113), "bc": (0.040, 0.200),
+    "cfrac": (0.210, 1.049), "espresso": (0.185, 0.923),
+    "lindsay": (0.297, 1.484), "p2c": (0.055, 0.273),
+    "164.gzip": (4.574, 6.852), "175.vpr": (1.355, 6.765),
+    "176.gcc": (4.488, 7.074), "181.mcf": (9.691, 7.035),
+    "186.crafty": (0.941, 4.657), "197.parser": (10.870, 6.836),
+    "252.eon": (0.056, 0.280), "253.perlbmk": (4.566, 6.732),
+    "255.vortex": (33.390, 7.120), "256.bzip2": (16.080, 6.945),
+    "300.twolf": (1.585, 6.305),
+}
+
+#: Figure 6: the paper's overall normal-run overhead envelope.
+FIGURE6_OVERHEAD_RANGE = (0.004, 0.116)   # 0.4% .. 11.6%
+FIGURE6_OVERHEAD_AVG = 0.037              # 3.7%

@@ -1,0 +1,63 @@
+"""Result containers and plain-text table/figure rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + \
+        [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    lines = [fmt(cells[0]), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: Dict[str, List[float]],
+                  bin_seconds: float = 1.0, width: int = 40,
+                  unit: str = "MB/s") -> str:
+    """ASCII rendering of time-binned throughput curves (Figure 4
+    style): one bar row per time bin per system."""
+    peak = max((v for vals in series.values() for v in vals), default=1.0)
+    peak = peak or 1.0
+    lines = [title]
+    for name, vals in series.items():
+        lines.append(f"  {name}:")
+        for i, v in enumerate(vals):
+            bar = "#" * int(round(width * v / peak))
+            lines.append(
+                f"    {i * bin_seconds:6.1f}s |{bar:<{width}}| "
+                f"{v:8.3f} {unit}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    exp_id: str                  # "table3", "figure4", ...
+    title: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List[Any]] = field(default_factory=list)
+    text: Optional[str] = None   # pre-rendered body (figures, reports)
+    notes: List[str] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)  # raw values
+
+    def render(self) -> str:
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        if self.headers:
+            parts.append(render_table(self.headers, self.rows))
+        if self.text:
+            parts.append(self.text)
+        if self.notes:
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)

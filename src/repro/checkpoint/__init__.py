@@ -1,0 +1,14 @@
+"""Checkpoint/rollback -- the Flashback analogue.
+
+:class:`~repro.checkpoint.manager.CheckpointManager` drives a process
+in checkpoint intervals, keeps a bounded history of
+:class:`~repro.checkpoint.snapshot.Checkpoint` objects, accounts
+copy-on-write page traffic (Tables 6-7), and implements the paper's
+adaptive interval policy: when the COW page rate pushes checkpointing
+overhead past a target, the interval grows, up to a maximum.
+"""
+
+from repro.checkpoint.snapshot import Checkpoint
+from repro.checkpoint.manager import CheckpointManager, CheckpointStats
+
+__all__ = ["Checkpoint", "CheckpointManager", "CheckpointStats"]

@@ -1,0 +1,183 @@
+"""The checkpoint manager.
+
+Drives a process in intervals (the paper uses 200 ms; at this repo's
+calibration that is :data:`DEFAULT_INTERVAL` instructions), takes a
+checkpoint at each boundary, and keeps the most recent ``max_keep``
+checkpoints for rollback.
+
+Adaptive interval (paper Section 3): the manager monitors the COW page
+rate.  If estimated checkpointing overhead (page-copy time over
+interval time) exceeds ``overhead_target``, the interval grows
+geometrically up to ``max_interval``; when the rate falls it shrinks
+back toward the base interval.  Old checkpoints being discarded as the
+interval grows keeps "the same length of history while keeping less
+data in memory" (Table 7 discussion).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.checkpoint.snapshot import Checkpoint
+from repro.errors import CheckpointError
+from repro.heap.base import PAGE_SIZE
+from repro.process import Process
+from repro.util.events import EventLog
+from repro.vm.machine import RunReason, RunResult
+
+#: 200 ms at the calibration of 10 us per instruction.
+DEFAULT_INTERVAL = 20_000
+
+
+@dataclass
+class CheckpointStats:
+    """Aggregate checkpointing statistics (feeds Table 7)."""
+
+    checkpoints_taken: int = 0
+    rollbacks: int = 0
+    pages_copied_total: int = 0
+    per_checkpoint_pages: List[int] = field(default_factory=list)
+    per_checkpoint_interval: List[int] = field(default_factory=list)
+
+    @property
+    def bytes_per_checkpoint(self) -> float:
+        if not self.per_checkpoint_pages:
+            return 0.0
+        return (sum(self.per_checkpoint_pages)
+                / len(self.per_checkpoint_pages) * PAGE_SIZE)
+
+    def bytes_per_second(self, instr_ns: int) -> float:
+        """Average checkpoint traffic per simulated second."""
+        total_bytes = self.pages_copied_total * PAGE_SIZE
+        total_ns = sum(self.per_checkpoint_interval) * instr_ns
+        if total_ns == 0:
+            return 0.0
+        return total_bytes / (total_ns / 1e9)
+
+
+class CheckpointManager:
+    """Periodic checkpointing and rollback for one process."""
+
+    def __init__(self, process: Process,
+                 interval: int = DEFAULT_INTERVAL,
+                 max_keep: int = 64,
+                 adaptive: bool = True,
+                 overhead_target: float = 0.05,
+                 max_interval: int = 20 * DEFAULT_INTERVAL,
+                 events: Optional[EventLog] = None,
+                 enabled: bool = True):
+        self.process = process
+        self.base_interval = interval
+        self.interval = interval
+        self.max_keep = max_keep
+        self.adaptive = adaptive
+        self.overhead_target = overhead_target
+        self.max_interval = max_interval
+        self.events = events if events is not None else EventLog()
+        self.enabled = enabled
+        self.checkpoints: Deque[Checkpoint] = deque(maxlen=max_keep)
+        self.stats = CheckpointStats()
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+
+    def take_checkpoint(self) -> Checkpoint:
+        """Snapshot the process now and charge checkpoint costs."""
+        process = self.process
+        cow_pages = process.mem.dirty_page_count
+        costs = process.costs
+        process.clock.charge(costs.checkpoint_base_ns
+                             + cow_pages * costs.page_copy_ns)
+        ck = Checkpoint(self._next_index, process.clock.now_ns,
+                        process.snapshot(), cow_pages, PAGE_SIZE)
+        self._next_index += 1
+        process.mem.clear_dirty()
+        self.checkpoints.append(ck)
+        self.stats.checkpoints_taken += 1
+        self.stats.pages_copied_total += cow_pages
+        self.stats.per_checkpoint_pages.append(cow_pages)
+        self.stats.per_checkpoint_interval.append(self.interval)
+        self.events.emit(process.clock.now_ns, "checkpoint",
+                         index=ck.index, instr=ck.instr_count,
+                         cow_pages=cow_pages, interval=self.interval)
+        if self.adaptive:
+            self._adapt(cow_pages)
+        return ck
+
+    def _adapt(self, cow_pages: int) -> None:
+        """Grow the interval when COW traffic makes overhead too high,
+        shrink it back when traffic is light."""
+        costs = self.process.costs
+        copy_ns = (cow_pages * costs.page_copy_ns
+                   + costs.checkpoint_base_ns)
+        interval_ns = self.interval * costs.instr_ns
+        overhead = copy_ns / interval_ns if interval_ns else 0.0
+        if overhead > self.overhead_target:
+            self.interval = min(int(self.interval * 1.5),
+                                self.max_interval)
+        elif (overhead < self.overhead_target / 3
+              and self.interval > self.base_interval):
+            self.interval = max(int(self.interval / 1.5),
+                                self.base_interval)
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: Optional[int] = None) -> RunResult:
+        """Run the process with periodic checkpoints until something
+        other than an interval boundary stops it (halt, fault, input
+        exhaustion, or the optional step budget)."""
+        process = self.process
+        if self.enabled and not self.checkpoints:
+            self.take_checkpoint()
+        remaining = max_steps
+        while True:
+            if not self.enabled:
+                return process.run(max_steps=remaining)
+            boundary = process.instr_count + self.interval
+            step = self.interval
+            if remaining is not None:
+                step = min(step, remaining)
+            result = process.run(stop_at=process.instr_count + step)
+            if remaining is not None:
+                remaining -= step
+                if remaining <= 0 and result.reason is RunReason.STOP:
+                    return result
+            if result.reason is not RunReason.STOP:
+                return result
+            if process.instr_count >= boundary:
+                self.take_checkpoint()
+
+    # ------------------------------------------------------------------
+
+    def latest(self) -> Checkpoint:
+        if not self.checkpoints:
+            raise CheckpointError("no checkpoints taken yet")
+        return self.checkpoints[-1]
+
+    def recent(self, count: int) -> List[Checkpoint]:
+        """Up to ``count`` checkpoints, most recent first."""
+        items = list(self.checkpoints)[-count:]
+        return items[::-1]
+
+    def rollback_to(self, checkpoint: Checkpoint) -> None:
+        """Restore the process to ``checkpoint`` and charge restore
+        costs (rollbacks never rewind the clock)."""
+        process = self.process
+        costs = process.costs
+        process.clock.charge(costs.restore_base_ns
+                             + checkpoint.cow_pages * costs.page_restore_ns)
+        process.restore(checkpoint.state)
+        process.mem.clear_dirty()
+        self.stats.rollbacks += 1
+        self.events.emit(process.clock.now_ns, "rollback",
+                         to_index=checkpoint.index,
+                         instr=checkpoint.instr_count)
+
+    def drop_after(self, checkpoint: Checkpoint) -> None:
+        """Discard checkpoints newer than ``checkpoint`` (used after a
+        recovery commits to an older state)."""
+        while self.checkpoints and \
+                self.checkpoints[-1].index > checkpoint.index:
+            self.checkpoints.pop()

@@ -1,0 +1,31 @@
+"""Checkpoint objects."""
+
+from __future__ import annotations
+
+from repro.process import ProcessSnapshot
+
+
+class Checkpoint:
+    """One in-memory checkpoint.
+
+    ``cow_pages`` is the number of pages dirtied since the *previous*
+    checkpoint -- the pages a fork-based COW checkpoint would have had
+    to copy for this one.  ``space_bytes`` is that in bytes, which is
+    what Table 7 reports per checkpoint.
+    """
+
+    __slots__ = ("index", "time_ns", "instr_count", "state", "cow_pages",
+                 "space_bytes")
+
+    def __init__(self, index: int, time_ns: int, state: ProcessSnapshot,
+                 cow_pages: int, page_size: int):
+        self.index = index
+        self.time_ns = time_ns
+        self.instr_count = state.instr_count
+        self.state = state
+        self.cow_pages = cow_pages
+        self.space_bytes = cow_pages * page_size
+
+    def __repr__(self) -> str:
+        return (f"Checkpoint(#{self.index}, instr={self.instr_count}, "
+                f"t={self.time_ns / 1e9:.3f}s, cow_pages={self.cow_pages})")

@@ -1,0 +1,169 @@
+"""Environmental changes and diagnostic policies.
+
+Table 1 of the paper, as code.  An environmental change is either an
+:class:`AllocChange` (applied when objects are allocated: padding,
+zero/canary fill) or a :class:`FreeChange` (applied when objects are
+deallocated: delay free, canary fill, parameter check).
+
+``preventive_change(b)`` / ``exposing_change(b)`` return the change for
+bug type ``b``; :func:`combine_alloc` / :func:`combine_free` merge a set
+of changes into the single decision the allocator extension consumes.
+
+:class:`DiagnosticPolicy` applies changes whole-heap with optional
+per-call-site overrides -- the mechanism behind both phase-2 group
+testing ("exposing change for b, preventive for everything else") and
+the binary search over call-sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.bugtypes import BugType
+from repro.heap.extension import (
+    PAD_POST,
+    PAD_PRE,
+    AllocDecision,
+    ChangePolicy,
+    FreeDecision,
+)
+from repro.util.callsite import CallSite
+
+
+@dataclass(frozen=True)
+class AllocChange:
+    """An allocation-time environmental change."""
+
+    pad: bool = False
+    canary_pad: bool = False
+    fill: Optional[str] = None    # None | "zero" | "canary"
+
+
+@dataclass(frozen=True)
+class FreeChange:
+    """A deallocation-time environmental change."""
+
+    delay: bool = False
+    canary_fill: bool = False
+    check_param: bool = False
+
+
+Change = Union[AllocChange, FreeChange]
+
+_PREVENTIVE: Dict[BugType, Change] = {
+    BugType.BUFFER_OVERFLOW: AllocChange(pad=True),
+    BugType.UNINIT_READ: AllocChange(fill="zero"),
+    BugType.DANGLING_READ: FreeChange(delay=True),
+    BugType.DANGLING_WRITE: FreeChange(delay=True),
+    BugType.DOUBLE_FREE: FreeChange(delay=True, check_param=True),
+}
+
+_EXPOSING: Dict[BugType, Change] = {
+    BugType.BUFFER_OVERFLOW: AllocChange(pad=True, canary_pad=True),
+    BugType.UNINIT_READ: AllocChange(fill="canary"),
+    BugType.DANGLING_READ: FreeChange(delay=True, canary_fill=True),
+    BugType.DANGLING_WRITE: FreeChange(delay=True, canary_fill=True),
+    BugType.DOUBLE_FREE: FreeChange(delay=True, canary_fill=True,
+                                    check_param=True),
+}
+
+
+def preventive_change(bug_type: BugType) -> Change:
+    return _PREVENTIVE[bug_type]
+
+
+def exposing_change(bug_type: BugType) -> Change:
+    return _EXPOSING[bug_type]
+
+
+def changes_for(bug_types: Iterable[BugType], exposing: bool) \
+        -> List[Change]:
+    table = _EXPOSING if exposing else _PREVENTIVE
+    return [table[b] for b in bug_types]
+
+
+def combine_alloc(changes: Iterable[Change],
+                  patch_id: Optional[int] = None) -> AllocDecision:
+    """Merge allocation changes into one extension decision.  Canary
+    fill dominates zero fill (canary implies the exposing intent)."""
+    pad = canary = False
+    fill: Optional[str] = None
+    for change in changes:
+        if not isinstance(change, AllocChange):
+            continue
+        pad = pad or change.pad or change.canary_pad
+        canary = canary or change.canary_pad
+        if change.fill == "canary" or fill != "canary":
+            fill = change.fill or fill
+    return AllocDecision(
+        pad_pre=PAD_PRE if pad else 0,
+        pad_post=PAD_POST if pad else 0,
+        canary_pad=canary, fill=fill, patch_id=patch_id)
+
+
+def combine_free(changes: Iterable[Change],
+                 patch_id: Optional[int] = None) -> FreeDecision:
+    delay = canary = check = False
+    for change in changes:
+        if not isinstance(change, FreeChange):
+            continue
+        delay = delay or change.delay
+        canary = canary or change.canary_fill
+        check = check or change.check_param
+    return FreeDecision(delay=delay, canary_fill=canary,
+                        check_param=check, patch_id=patch_id)
+
+
+class DiagnosticPolicy(ChangePolicy):
+    """Applies default changes to every object, with per-call-site
+    overrides, and records every call-site it sees (the universe for
+    binary search).
+    """
+
+    def __init__(self,
+                 alloc_default: Iterable[Change] = (),
+                 free_default: Iterable[Change] = (),
+                 alloc_overrides: Optional[Dict[CallSite,
+                                                Iterable[Change]]] = None,
+                 free_overrides: Optional[Dict[CallSite,
+                                               Iterable[Change]]] = None):
+        self._alloc_default = combine_alloc(alloc_default)
+        self._free_default = combine_free(free_default)
+        self._alloc_overrides = {
+            site: combine_alloc(ch)
+            for site, ch in (alloc_overrides or {}).items()}
+        self._free_overrides = {
+            site: combine_free(ch)
+            for site, ch in (free_overrides or {}).items()}
+        #: Call-sites observed during the re-execution, in first-seen
+        #: order (insertion-ordered dicts double as ordered sets).
+        self.seen_alloc_sites: Dict[CallSite, int] = {}
+        self.seen_free_sites: Dict[CallSite, int] = {}
+
+    def on_alloc(self, callsite: Optional[CallSite]) -> AllocDecision:
+        if callsite is not None:
+            self.seen_alloc_sites[callsite] = \
+                self.seen_alloc_sites.get(callsite, 0) + 1
+            override = self._alloc_overrides.get(callsite)
+            if override is not None:
+                return override
+        return self._alloc_default
+
+    def on_free(self, callsite: Optional[CallSite],
+                user_addr: int) -> FreeDecision:
+        if callsite is not None:
+            self.seen_free_sites[callsite] = \
+                self.seen_free_sites.get(callsite, 0) + 1
+            override = self._free_overrides.get(callsite)
+            if override is not None:
+                return override
+        return self._free_default
+
+
+def all_preventive_policy() -> DiagnosticPolicy:
+    """Every preventive change, whole-heap -- phase 1's probe."""
+    return DiagnosticPolicy(
+        alloc_default=_PREVENTIVE.values(),
+        free_default=_PREVENTIVE.values(),
+    )

@@ -1,0 +1,462 @@
+"""The two-phase diagnostic engine (paper Section 4).
+
+Phase 1 finds the latest checkpoint from which a patch can take effect:
+roll back, re-execute plain (success means the bug was nondeterministic
+-- only timing changed), then re-execute with *all* preventive changes
+plus heap marking; walk to older checkpoints until the preventive run
+passes the failure region with clean marks.
+
+Phase 2 identifies the bug types and the patch application points.  Bug
+types are tested group-by-group: the exposing change for the group
+under test, preventive changes for everything else, so only the tested
+types can manifest (this is the correctness property Section 4.3
+contrasts with Rx).  Directly-manifesting types (overflow, dangling
+write, double free) yield their call-sites from the evidence itself;
+read-type bugs (dangling read, uninitialized read) are located by
+binary search over call-sites with preventive changes on the
+complement -- O(M log N) re-executions for M bug sites among N.
+
+The "failure region" criterion follows Section 4.1: a re-execution
+passes if it survives to ``failure_instr + window_intervals x
+checkpoint_interval`` (3 intervals in the paper and here) or finishes
+the program cleanly before that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.snapshot import Checkpoint
+from repro.core.bugtypes import ALL_BUG_TYPES, CHANGE_GROUPS, BugType
+from repro.core.changes import (
+    DiagnosticPolicy,
+    changes_for,
+    exposing_change,
+    preventive_change,
+)
+from repro.core.heap_marking import HeapMarking, MarkCorruption
+from repro.core.patches import PatchPool, RuntimePatch
+from repro.heap.extension import ExtensionMode, Manifestations
+from repro.monitors.base import FailureEvent
+from repro.process import Process
+from repro.util.callsite import CallSite
+from repro.util.events import EventLog
+from repro.vm.machine import RunReason, RunResult
+
+
+class Verdict(Enum):
+    PATCHED = "patched"
+    NONDETERMINISTIC = "nondeterministic"
+    NON_PATCHABLE = "non-patchable"
+
+
+@dataclass
+class Evidence:
+    """What phase 2 learned about one bug type."""
+
+    bug_type: BugType
+    sites: List[CallSite] = field(default_factory=list)
+    details: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Diagnosis:
+    """The diagnostic engine's result."""
+
+    verdict: Verdict
+    bug_types: List[BugType] = field(default_factory=list)
+    evidence: Dict[BugType, Evidence] = field(default_factory=dict)
+    patches: List[RuntimePatch] = field(default_factory=list)
+    checkpoint: Optional[Checkpoint] = None
+    rollbacks: int = 0
+    notes: List[str] = field(default_factory=list)
+    failure: Optional[FailureEvent] = None
+
+
+@dataclass
+class _Outcome:
+    """One diagnostic re-execution's observations."""
+
+    result: RunResult
+    passed: bool
+    manifestations: Manifestations
+    mark_corruptions: List[MarkCorruption]
+    policy: DiagnosticPolicy
+
+
+class DiagnosticEngine:
+    """Runs diagnosis for one failure of one process."""
+
+    def __init__(self, process: Process, manager: CheckpointManager,
+                 pool: PatchPool, events: Optional[EventLog] = None,
+                 max_checkpoint_search: int = 8,
+                 window_intervals: int = 3,
+                 max_rollbacks: int = 200,
+                 use_heap_marking: bool = True,
+                 site_search: str = "binary"):
+        if site_search not in ("binary", "linear"):
+            raise ValueError(f"site_search must be 'binary' or "
+                             f"'linear', not {site_search!r}")
+        self.process = process
+        self.manager = manager
+        self.pool = pool
+        self.events = events if events is not None else EventLog()
+        self.max_checkpoint_search = max_checkpoint_search
+        self.window_intervals = window_intervals
+        self.max_rollbacks = max_rollbacks
+        #: ablation knobs: disabling heap marking reproduces the
+        #: Figure 3 checkpoint misidentification; 'linear' site search
+        #: costs O(M*N) rollbacks instead of O(M log N).
+        self.use_heap_marking = use_heap_marking
+        self.site_search = site_search
+        self._rollbacks = 0
+        self._entropy_salt = 1000
+
+    # ------------------------------------------------------------------
+    # public entry
+    # ------------------------------------------------------------------
+
+    def diagnose(self, failure: FailureEvent) -> Diagnosis:
+        window_end = (failure.instr_count
+                      + self.window_intervals * self.manager.interval)
+        self._rollbacks = 0
+        diag = Diagnosis(verdict=Verdict.NON_PATCHABLE, failure=failure)
+        self.events.emit(self.process.clock.now_ns, "diagnosis.start",
+                         failure=failure.describe())
+
+        candidates = self.manager.recent(self.max_checkpoint_search)
+        if not candidates:
+            diag.notes.append("no checkpoints available")
+            return diag
+
+        # Phase 1a: plain re-execution from the latest checkpoint.
+        outcome = self._reexecute(candidates[0], DiagnosticPolicy(),
+                                  window_end)
+        if outcome.passed:
+            diag.verdict = Verdict.NONDETERMINISTIC
+            diag.rollbacks = self._rollbacks
+            diag.notes.append(
+                "plain re-execution passed the failure region; "
+                "failure attributed to a nondeterministic bug")
+            self._log_done(diag)
+            return diag
+
+        # Phase 1b: all-preventive probes, newest checkpoint first,
+        # with heap marking to expose pre-checkpoint bug triggers.
+        chosen: Optional[Checkpoint] = None
+        for checkpoint in candidates:
+            if self._rollbacks >= self.max_rollbacks:
+                break
+            outcome = self._reexecute(
+                checkpoint, _all_preventive(), window_end,
+                mark=self.use_heap_marking)
+            if outcome.passed and not outcome.mark_corruptions:
+                chosen = checkpoint
+                break
+            if outcome.mark_corruptions:
+                diag.notes.append(
+                    f"checkpoint #{checkpoint.index}: heap marking "
+                    f"exposed {len(outcome.mark_corruptions)} "
+                    f"pre-checkpoint corruption(s); trying earlier")
+        if chosen is None:
+            diag.rollbacks = self._rollbacks
+            diag.notes.append(
+                "no checkpoint found from which preventive changes "
+                "survive the failure; bug is non-patchable")
+            self._log_done(diag)
+            return diag
+        diag.checkpoint = chosen
+        self.events.emit(self.process.clock.now_ns,
+                         "diagnosis.checkpoint_identified",
+                         index=chosen.index, instr=chosen.instr_count)
+
+        # Phase 2: identify bug types group by group.
+        identified: List[BugType] = []
+        undecided = list(ALL_BUG_TYPES)
+        for group in CHANGE_GROUPS:
+            if self._rollbacks >= self.max_rollbacks:
+                break
+            policy = self._group_policy(group, undecided, identified)
+            outcome = self._reexecute(chosen, policy, window_end)
+            found = self._interpret_group(group, outcome, diag)
+            for bug_type in group:
+                undecided.remove(bug_type)
+            if not found:
+                continue
+            identified.extend(found)
+            # Coverage check: with everything identified so far
+            # prevented and the rest exposed, does anything still
+            # manifest?  If not, stop searching for more types.
+            if undecided:
+                cover = self._coverage_policy(identified, undecided)
+                outcome = self._reexecute(chosen, cover, window_end)
+                if outcome.passed and not outcome.manifestations.any():
+                    break
+
+        if not identified:
+            diag.rollbacks = self._rollbacks
+            diag.notes.append(
+                "preventive changes survive but no bug type "
+                "manifested under exposure; non-patchable")
+            self._log_done(diag)
+            return diag
+        diag.bug_types = identified
+
+        # Phase 2b: call-sites for read-type bugs via binary search.
+        for bug_type in identified:
+            evidence = diag.evidence[bug_type]
+            if bug_type.identified_directly:
+                continue
+            universe = self._universe_for(bug_type, chosen, window_end)
+            sites = self._binary_search_sites(
+                chosen, bug_type, universe, window_end, identified)
+            evidence.sites = sites
+            evidence.details.append(
+                f"binary search over {len(universe)} call-sites")
+
+        # Patch generation.
+        now = self.process.clock.now_ns
+        for bug_type in identified:
+            for site in diag.evidence[bug_type].sites:
+                patch = self.pool.new_patch(bug_type, site, now)
+                if patch not in diag.patches:
+                    diag.patches.append(patch)
+        diag.verdict = (Verdict.PATCHED if diag.patches
+                        else Verdict.NON_PATCHABLE)
+        if not diag.patches:
+            diag.notes.append("bug types identified but no call-sites "
+                              "could be isolated")
+        diag.rollbacks = self._rollbacks
+        self._log_done(diag)
+        return diag
+
+    def _log_done(self, diag: Diagnosis) -> None:
+        self.events.emit(
+            self.process.clock.now_ns, "diagnosis.done",
+            verdict=diag.verdict.value,
+            bug_types=[b.value for b in diag.bug_types],
+            patches=len(diag.patches), rollbacks=diag.rollbacks)
+
+    # ------------------------------------------------------------------
+    # re-execution plumbing
+    # ------------------------------------------------------------------
+
+    def _reexecute(self, checkpoint: Checkpoint, policy: DiagnosticPolicy,
+                   window_end: int, mark: bool = False) -> _Outcome:
+        process = self.process
+        self.manager.rollback_to(checkpoint)
+        self._rollbacks += 1
+        self._entropy_salt += 1
+        process.reseed_entropy(self._entropy_salt)
+        marking: Optional[HeapMarking] = None
+        if mark:
+            marking = HeapMarking(process.mem, process.allocator)
+            marking.apply()
+        saved_costs = process.costs
+        process.set_costs(saved_costs.replay_model())
+        process.set_mode(ExtensionMode.DIAGNOSTIC, policy)
+        try:
+            result = process.run(stop_at=window_end)
+        finally:
+            process.set_costs(saved_costs)
+        manifestations = process.extension.scan_manifestations()
+        mark_corruptions = marking.scan() if marking else []
+        passed = result.reason in (RunReason.STOP, RunReason.HALT,
+                                   RunReason.INPUT_EXHAUSTED)
+        self.events.emit(
+            process.clock.now_ns, "diagnosis.iteration",
+            checkpoint=checkpoint.index, passed=passed,
+            reason=result.reason.value,
+            overflow_hits=len(manifestations.overflow_hits),
+            dangling_write_hits=len(manifestations.dangling_write_hits),
+            double_frees=len(manifestations.double_free_events),
+            mark_corruptions=len(mark_corruptions))
+        return _Outcome(result, passed, manifestations, mark_corruptions,
+                        policy)
+
+    # ------------------------------------------------------------------
+    # policies for phase 2
+    # ------------------------------------------------------------------
+
+    def _group_policy(self, group: Sequence[BugType],
+                      undecided: Sequence[BugType],
+                      identified: Sequence[BugType]) -> DiagnosticPolicy:
+        """Exposing changes for the group under test; preventive for
+        every other type in (undecided u identified) - group."""
+        others = [b for b in list(undecided) + list(identified)
+                  if b not in group]
+        changes = (changes_for(group, exposing=True)
+                   + changes_for(others, exposing=False))
+        return DiagnosticPolicy(alloc_default=changes,
+                                free_default=changes)
+
+    def _coverage_policy(self, identified: Sequence[BugType],
+                         undecided: Sequence[BugType]) -> DiagnosticPolicy:
+        changes = (changes_for(identified, exposing=False)
+                   + changes_for(undecided, exposing=True))
+        return DiagnosticPolicy(alloc_default=changes,
+                                free_default=changes)
+
+    def _interpret_group(self, group: Sequence[BugType],
+                         outcome: _Outcome,
+                         diag: Diagnosis) -> List[BugType]:
+        """Map a group test's observations to identified bug types and
+        record the direct evidence (call-sites where available)."""
+        found: List[BugType] = []
+        man = outcome.manifestations
+        if BugType.BUFFER_OVERFLOW in group and man.overflow_hits:
+            sites = _dedupe(hit.alloc_site for hit in man.overflow_hits
+                            if hit.alloc_site is not None)
+            evidence = Evidence(BugType.BUFFER_OVERFLOW, sites)
+            evidence.details = [
+                f"canary corruption at object 0x{hit.user_addr:x} "
+                f"({hit.side}-padding, offsets {hit.offsets[:4]}...)"
+                for hit in man.overflow_hits]
+            diag.evidence[BugType.BUFFER_OVERFLOW] = evidence
+            found.append(BugType.BUFFER_OVERFLOW)
+        if BugType.DANGLING_WRITE in group and man.dangling_write_hits:
+            sites = _dedupe(hit.free_site
+                            for hit in man.dangling_write_hits
+                            if hit.free_site is not None)
+            evidence = Evidence(BugType.DANGLING_WRITE, sites)
+            evidence.details = [
+                f"canary corruption in delay-freed object "
+                f"0x{hit.user_addr:x}" for hit in man.dangling_write_hits]
+            diag.evidence[BugType.DANGLING_WRITE] = evidence
+            found.append(BugType.DANGLING_WRITE)
+        if BugType.DOUBLE_FREE in group and man.double_free_events:
+            sites = _dedupe(
+                (ev.first_site or ev.second_site)
+                for ev in man.double_free_events
+                if (ev.first_site or ev.second_site) is not None)
+            evidence = Evidence(BugType.DOUBLE_FREE, sites)
+            evidence.details = [
+                f"free(0x{ev.user_addr:x}) called twice"
+                for ev in man.double_free_events]
+            diag.evidence[BugType.DOUBLE_FREE] = evidence
+            found.append(BugType.DOUBLE_FREE)
+        if not outcome.passed:
+            # A failure under this group's exposure, with every other
+            # type prevented, manifests the group's read-type bug.
+            if BugType.DANGLING_READ in group:
+                diag.evidence[BugType.DANGLING_READ] = Evidence(
+                    BugType.DANGLING_READ,
+                    details=[f"re-execution failed under canary-filled "
+                             f"delay-free: {outcome.result!r}"])
+                found.append(BugType.DANGLING_READ)
+            elif BugType.UNINIT_READ in group:
+                diag.evidence[BugType.UNINIT_READ] = Evidence(
+                    BugType.UNINIT_READ,
+                    details=[f"re-execution failed under canary-filled "
+                             f"allocation: {outcome.result!r}"])
+                found.append(BugType.UNINIT_READ)
+        return found
+
+    # ------------------------------------------------------------------
+    # binary search for read-type bug call-sites
+    # ------------------------------------------------------------------
+
+    def _universe_for(self, bug_type: BugType, checkpoint: Checkpoint,
+                      window_end: int) -> List[CallSite]:
+        """All candidate call-sites after the checkpoint: observed by a
+        fresh all-preventive run (which always passes)."""
+        outcome = self._reexecute(checkpoint, _all_preventive(),
+                                  window_end)
+        if bug_type is BugType.UNINIT_READ:
+            return list(outcome.policy.seen_alloc_sites)
+        return list(outcome.policy.seen_free_sites)
+
+    def _search_policy(self, bug_type: BugType,
+                       exposed: Iterable[CallSite],
+                       all_types: Sequence[BugType]) -> DiagnosticPolicy:
+        """Preventive everywhere; exposing override on the exposed
+        call-site subset.  Prevention of the complement is what keeps
+        other (not yet found) bug sites from interfering."""
+        preventive_all = changes_for(ALL_BUG_TYPES, exposing=False)
+        expose = [exposing_change(bug_type),
+                  *(preventive_change(b) for b in ALL_BUG_TYPES
+                    if b is not bug_type)]
+        overrides = {site: expose for site in exposed}
+        if bug_type is BugType.UNINIT_READ:
+            return DiagnosticPolicy(alloc_default=preventive_all,
+                                    free_default=preventive_all,
+                                    alloc_overrides=overrides)
+        return DiagnosticPolicy(alloc_default=preventive_all,
+                                free_default=preventive_all,
+                                free_overrides=overrides)
+
+    def _binary_search_sites(self, checkpoint: Checkpoint,
+                             bug_type: BugType,
+                             universe: List[CallSite], window_end: int,
+                             all_types: Sequence[BugType]) \
+            -> List[CallSite]:
+        identified: List[CallSite] = []
+        remaining = list(universe)
+        while remaining and self._rollbacks < self.max_rollbacks:
+            # Round check: expose everything still unidentified.
+            outcome = self._reexecute(
+                checkpoint,
+                self._search_policy(bug_type, remaining, all_types),
+                window_end)
+            if outcome.passed:
+                break  # all bug sites found
+            if self.site_search == "binary":
+                site = self._bisect_round(checkpoint, bug_type,
+                                          remaining, all_types,
+                                          window_end)
+            else:
+                site = self._linear_round(checkpoint, bug_type,
+                                          remaining, all_types,
+                                          window_end)
+            if site is None:
+                break
+            identified.append(site)
+            remaining.remove(site)
+            self.events.emit(
+                self.process.clock.now_ns, "diagnosis.site_identified",
+                bug_type=bug_type.value, site=repr(site))
+        return identified
+
+    def _bisect_round(self, checkpoint, bug_type, remaining, all_types,
+                      window_end) -> Optional[CallSite]:
+        candidates = list(remaining)
+        while len(candidates) > 1:
+            if self._rollbacks >= self.max_rollbacks:
+                return None
+            half = candidates[:len(candidates) // 2]
+            outcome = self._reexecute(
+                checkpoint,
+                self._search_policy(bug_type, half, all_types),
+                window_end)
+            candidates = (half if not outcome.passed
+                          else candidates[len(half):])
+        return candidates[0]
+
+    def _linear_round(self, checkpoint, bug_type, remaining, all_types,
+                      window_end) -> Optional[CallSite]:
+        """Ablation baseline: probe one call-site at a time."""
+        for candidate in remaining:
+            if self._rollbacks >= self.max_rollbacks:
+                return None
+            outcome = self._reexecute(
+                checkpoint,
+                self._search_policy(bug_type, [candidate], all_types),
+                window_end)
+            if not outcome.passed:
+                return candidate
+        return None
+
+
+def _all_preventive() -> DiagnosticPolicy:
+    changes = changes_for(ALL_BUG_TYPES, exposing=False)
+    return DiagnosticPolicy(alloc_default=changes, free_default=changes)
+
+
+def _dedupe(sites: Iterable[CallSite]) -> List[CallSite]:
+    seen = {}
+    for site in sites:
+        seen.setdefault(site, None)
+    return list(seen)

@@ -1,0 +1,88 @@
+"""Heap marking (paper Section 4.1, Figure 3).
+
+Phase 1 must not pick a checkpoint that is *after* the bug-triggering
+point just because preventive changes disturbed the heap layout enough
+to dodge the failure.  Heap marking exposes bugs that were already
+triggered before the checkpoint:
+
+* every free chunk's payload is filled with canary values, so a
+  pre-checkpoint dangling pointer read hits the canary (and fails) and
+  a dangling write corrupts it (and is detected);
+* a canary-filled guard object is allocated after the last object in
+  the heap, so a pre-checkpoint overflow state that would silently run
+  into the wilderness corrupts the guard instead.
+
+After the re-execution, :meth:`HeapMarking.scan` checks the marks that
+are still supposed to be intact.  Chunks legitimately reused by the
+re-execution are skipped (their marks were overwritten by rightful
+owners).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.heap.allocator import LeaAllocator
+from repro.heap.base import Memory
+from repro.heap.canary import canary_fill, corrupted_offsets
+from repro.heap.chunk import HEADER_SIZE
+
+GUARD_SIZE = 1024
+
+
+@dataclass
+class MarkCorruption:
+    """One corrupted mark found by the scan."""
+
+    kind: str                # "free-chunk" | "top-guard"
+    addr: int
+    offsets: List[int] = field(default_factory=list)
+
+
+class HeapMarking:
+    """Marks the heap at rollback time; scans after re-execution."""
+
+    def __init__(self, mem: Memory, allocator: LeaAllocator):
+        self.mem = mem
+        self.allocator = allocator
+        self._marked_chunks: List[Tuple[int, int]] = []  # (payload, size)
+        self._guard_addr = 0
+
+    def apply(self) -> None:
+        """Mark all free chunks and plant the top guard.  Call right
+        after restoring the checkpoint, before re-execution."""
+        self._marked_chunks = []
+        for chunk in self.allocator.iter_free_chunks():
+            payload = chunk.addr + HEADER_SIZE
+            size = chunk.size - HEADER_SIZE
+            if size > 0:
+                canary_fill(self.mem, payload, size)
+                self._marked_chunks.append((payload, size))
+        # The guard is a real allocation so later allocations land
+        # beyond it; it is never handed to the program.
+        self._guard_addr = self.allocator.malloc(GUARD_SIZE)
+        canary_fill(self.mem, self._guard_addr, GUARD_SIZE)
+
+    def scan(self) -> List[MarkCorruption]:
+        """Check surviving marks.  A chunk that the allocator reused
+        during re-execution is skipped: its canary was legitimately
+        overwritten by the new owner."""
+        still_free = {
+            (chunk.addr + HEADER_SIZE, chunk.size - HEADER_SIZE)
+            for chunk in self.allocator.iter_free_chunks()}
+        corruptions: List[MarkCorruption] = []
+        for payload, size in self._marked_chunks:
+            if (payload, size) not in still_free:
+                continue
+            offsets = corrupted_offsets(self.mem, payload, size)
+            if offsets:
+                corruptions.append(
+                    MarkCorruption("free-chunk", payload, offsets))
+        if self._guard_addr:
+            offsets = corrupted_offsets(self.mem, self._guard_addr,
+                                        GUARD_SIZE)
+            if offsets:
+                corruptions.append(
+                    MarkCorruption("top-guard", self._guard_addr, offsets))
+        return corruptions

@@ -1,0 +1,223 @@
+"""Runtime patches and the patch pool.
+
+A runtime patch (paper Section 2) is the pair of a preventive change
+and a patch application point -- the allocation or deallocation
+call-site of the bug-triggering memory objects.  During normal
+execution the allocator extension asks the pool, at every allocation
+and deallocation, whether the current call-site matches a patch; if so
+the patch's preventive change is applied to that object only.
+
+The pool is keyed by *program*, not process: patches persist to disk
+(JSON) and are picked up by subsequent runs and by other processes
+running the same executable, which is how First-Aid prevents
+reoccurrence system-wide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.bugtypes import BugType
+from repro.core.changes import (
+    AllocChange,
+    FreeChange,
+    combine_alloc,
+    combine_free,
+    preventive_change,
+)
+from repro.errors import PatchError
+from repro.heap.extension import AllocDecision, ChangePolicy, FreeDecision
+from repro.util.callsite import CallSite
+
+
+@dataclass
+class RuntimePatch:
+    """One runtime patch."""
+
+    patch_id: int
+    bug_type: BugType
+    point: CallSite               # application point
+    apply_at: str                 # "alloc" | "free"
+    created_time_ns: int = 0
+    validated: bool = False
+    #: times the patch matched an operation (bookkeeping for Table 4
+    #: and the bug report's "triggered N times").
+    trigger_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.apply_at not in ("alloc", "free"):
+            raise PatchError(f"bad apply_at {self.apply_at!r}")
+        if self.apply_at != self.bug_type.patch_point:
+            raise PatchError(
+                f"{self.bug_type.value} patches apply at "
+                f"{self.bug_type.patch_point}, not {self.apply_at}")
+
+    @property
+    def change(self):
+        return preventive_change(self.bug_type)
+
+    def describe(self) -> str:
+        return (f"{self.bug_type.patch_description} on callsite:\n"
+                f"{self.point.render()}")
+
+    def to_json(self) -> dict:
+        return {
+            "patch_id": self.patch_id,
+            "bug_type": self.bug_type.value,
+            "point": self.point.to_json(),
+            "apply_at": self.apply_at,
+            "created_time_ns": self.created_time_ns,
+            "validated": self.validated,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RuntimePatch":
+        return cls(
+            patch_id=int(data["patch_id"]),
+            bug_type=BugType(data["bug_type"]),
+            point=CallSite.from_json(data["point"]),
+            apply_at=str(data["apply_at"]),
+            created_time_ns=int(data.get("created_time_ns", 0)),
+            validated=bool(data.get("validated", False)),
+        )
+
+
+class PatchPool:
+    """All patches for one program."""
+
+    def __init__(self, program_name: str):
+        self.program_name = program_name
+        self._patches: Dict[int, RuntimePatch] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+
+    def new_patch(self, bug_type: BugType, point: CallSite,
+                  created_time_ns: int = 0) -> RuntimePatch:
+        """Create, register, and return a patch.  Duplicate
+        (bug type, point) pairs return the existing patch."""
+        existing = self.find(bug_type, point)
+        if existing is not None:
+            return existing
+        patch = RuntimePatch(self._next_id, bug_type, point,
+                             bug_type.patch_point, created_time_ns)
+        self._patches[patch.patch_id] = patch
+        self._next_id += 1
+        return patch
+
+    def find(self, bug_type: BugType,
+             point: CallSite) -> Optional[RuntimePatch]:
+        for patch in self._patches.values():
+            if patch.bug_type is bug_type and patch.point == point:
+                return patch
+        return None
+
+    def remove(self, patch_id: int) -> None:
+        self._patches.pop(patch_id, None)
+
+    def get(self, patch_id: int) -> Optional[RuntimePatch]:
+        return self._patches.get(patch_id)
+
+    def patches(self) -> List[RuntimePatch]:
+        return list(self._patches.values())
+
+    def __len__(self) -> int:
+        return len(self._patches)
+
+    def policy(self) -> "PatchPolicy":
+        return PatchPolicy(self)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Atomically write the pool to ``path`` as JSON."""
+        payload = {
+            "program": self.program_name,
+            "patches": [p.to_json() for p in self._patches.values()],
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "PatchPool":
+        with open(path) as handle:
+            payload = json.load(handle)
+        pool = cls(payload["program"])
+        for item in payload["patches"]:
+            patch = RuntimePatch.from_json(item)
+            pool._patches[patch.patch_id] = patch
+            pool._next_id = max(pool._next_id, patch.patch_id + 1)
+        return pool
+
+    @classmethod
+    def load_or_create(cls, path: str, program_name: str) -> "PatchPool":
+        if os.path.exists(path):
+            pool = cls.load(path)
+            if pool.program_name != program_name:
+                raise PatchError(
+                    f"patch pool at {path} belongs to "
+                    f"{pool.program_name!r}, not {program_name!r}")
+            return pool
+        return cls(program_name)
+
+
+class PatchPolicy(ChangePolicy):
+    """Normal-mode policy: apply a patch's preventive change to objects
+    whose allocation/deallocation call-site matches the patch point."""
+
+    def __init__(self, pool: PatchPool):
+        self._pool = pool
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._alloc: Dict[CallSite, RuntimePatch] = {}
+        self._free: Dict[CallSite, RuntimePatch] = {}
+        for patch in self._pool.patches():
+            table = self._alloc if patch.apply_at == "alloc" else self._free
+            table[patch.point] = patch
+
+    def refresh(self) -> None:
+        """Re-read the pool after patches were added or removed."""
+        self._rebuild()
+
+    def on_alloc(self, callsite: Optional[CallSite]) -> AllocDecision:
+        if callsite is None:
+            return AllocDecision.plain()
+        patch = self._alloc.get(callsite)
+        if patch is None:
+            return AllocDecision.plain()
+        patch.trigger_count += 1
+        change = patch.change
+        assert isinstance(change, AllocChange)
+        return combine_alloc([change], patch_id=patch.patch_id)
+
+    def on_free(self, callsite: Optional[CallSite],
+                user_addr: int) -> FreeDecision:
+        if callsite is None:
+            return FreeDecision.plain()
+        patch = self._free.get(callsite)
+        if patch is None:
+            return FreeDecision.plain()
+        patch.trigger_count += 1
+        change = patch.change
+        assert isinstance(change, FreeChange)
+        # Delay-free patches always check parameters: a patched free
+        # site implies dangling/double-free suspicion.
+        decision = combine_free([change], patch_id=patch.patch_id)
+        decision.check_param = True
+        return decision

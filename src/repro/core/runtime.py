@@ -1,0 +1,273 @@
+"""FirstAidRuntime: the public entry point.
+
+Ties together the whole working scenario of Figure 1: run the program
+under periodic checkpointing; when an error monitor catches a failure,
+diagnose it, generate and apply runtime patches, recover by re-executing
+from the identified checkpoint with the patches active, then validate
+the patches on a clone (off the recovery path) and produce a bug
+report.  Patches persist in the pool -- optionally on disk -- so
+subsequent failures from the same bug never happen.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.checkpoint.manager import DEFAULT_INTERVAL, CheckpointManager
+from repro.core.diagnosis import Diagnosis, DiagnosticEngine, Verdict
+from repro.core.patches import PatchPolicy, PatchPool
+from repro.core.report import BugReport
+from repro.core.validation import ValidationEngine, ValidationResult
+from repro.heap.base import DEFAULT_LIMIT
+from repro.heap.extension import ExtensionMode
+from repro.heap.quarantine import DEFAULT_THRESHOLD
+from repro.monitors import ErrorMonitor, FailureEvent, default_monitors
+from repro.process import Process
+from repro.util.events import EventLog
+from repro.util.simclock import CostModel
+from repro.vm.io import ReplayableInput
+from repro.vm.machine import RunReason, RunResult
+from repro.vm.program import Program
+
+
+@dataclass
+class FirstAidConfig:
+    """Tunables, with the paper's experimental defaults."""
+
+    checkpoint_interval: int = DEFAULT_INTERVAL      # 200 ms equivalent
+    max_checkpoints: int = 64
+    adaptive_checkpointing: bool = True
+    overhead_target: float = 0.05                    # T_overhead
+    max_interval: int = 20 * DEFAULT_INTERVAL        # T_checkpoint
+    window_intervals: int = 3          # failure-region length (Sec 4.1)
+    max_checkpoint_search: int = 8     # phase-1 rollback budget
+    max_rollbacks: int = 200           # diagnosis timeout
+    validate: bool = True
+    validation_iterations: int = 3
+    quarantine_threshold: int = DEFAULT_THRESHOLD    # 1 MB
+    #: Memory-pressure failsafe: total bytes runtime patches may hold
+    #: (padding + delay-freed objects) before patching is disabled and
+    #: the oldest delay-freed objects are released.  None = unlimited.
+    max_patch_memory: Optional[int] = None
+    heap_limit: int = DEFAULT_LIMIT
+    pool_path: Optional[str] = None    # persistent patch pool (JSON)
+    max_recovery_attempts: int = 2
+    entropy_seed: int = 1
+
+
+@dataclass
+class RecoveryRecord:
+    """One failure's handling, start to finish (one Table 3 row)."""
+
+    failure: FailureEvent
+    diagnosis: Optional[Diagnosis] = None
+    recovery_time_ns: int = 0
+    validation: Optional[ValidationResult] = None
+    report: Optional[BugReport] = None
+    succeeded: bool = False
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SessionResult:
+    """Outcome of FirstAidRuntime.run()."""
+
+    reason: str                 # "halt" | "input" | "budget" | "died"
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
+
+    @property
+    def survived_all(self) -> bool:
+        return all(r.succeeded for r in self.recoveries)
+
+
+class FirstAidRuntime:
+    """Run one program under First-Aid."""
+
+    def __init__(self, program: Program,
+                 input_tokens: Optional[Iterable[int]] = None,
+                 input_stream: Optional[ReplayableInput] = None,
+                 config: Optional[FirstAidConfig] = None,
+                 pool: Optional[PatchPool] = None,
+                 monitors: Optional[List[ErrorMonitor]] = None,
+                 costs: Optional[CostModel] = None,
+                 events: Optional[EventLog] = None):
+        self.config = config or FirstAidConfig()
+        self.events = events if events is not None else EventLog()
+        self.pool = pool or self._load_pool(program.name)
+        self.process = Process(
+            program,
+            input_tokens=input_tokens,
+            input_stream=input_stream,
+            mode=ExtensionMode.NORMAL,
+            policy=None,
+            costs=costs,
+            heap_limit=self.config.heap_limit,
+            quarantine_threshold=self.config.quarantine_threshold,
+            entropy_seed=self.config.entropy_seed,
+        )
+        self.policy = PatchPolicy(self.pool)
+        self.process.extension.policy = self.policy
+        self.process.extension.patch_memory_limit = \
+            self.config.max_patch_memory
+        self.manager = CheckpointManager(
+            self.process,
+            interval=self.config.checkpoint_interval,
+            max_keep=self.config.max_checkpoints,
+            adaptive=self.config.adaptive_checkpointing,
+            overhead_target=self.config.overhead_target,
+            max_interval=self.config.max_interval,
+            events=self.events,
+        )
+        self.monitors = monitors if monitors is not None \
+            else default_monitors()
+        self.validator = ValidationEngine(
+            self.config.validation_iterations, self.events)
+        self.recoveries: List[RecoveryRecord] = []
+
+    def _load_pool(self, program_name: str) -> PatchPool:
+        path = self.config.pool_path
+        if path and os.path.exists(path):
+            return PatchPool.load_or_create(path, program_name)
+        return PatchPool(program_name)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: Optional[int] = None) -> SessionResult:
+        """Run until the program finishes (halt or input exhausted),
+        the optional step budget runs out, or an unrecoverable failure
+        kills it."""
+        budget = max_steps
+        while True:
+            start = self.process.instr_count
+            result = self.manager.run(max_steps=budget)
+            if budget is not None:
+                budget -= self.process.instr_count - start
+            if result.reason is RunReason.HALT:
+                return SessionResult("halt", self.recoveries)
+            if result.reason is RunReason.INPUT_EXHAUSTED:
+                return SessionResult("input", self.recoveries)
+            if result.reason is RunReason.STOP:
+                return SessionResult("budget", self.recoveries)
+            failure = self._detect_failure(result)
+            if failure is None:
+                # A fault no monitor claims: treat as fatal.
+                return SessionResult("died", self.recoveries)
+            record = self._handle_failure(failure)
+            self.recoveries.append(record)
+            if not record.succeeded:
+                return SessionResult("died", self.recoveries)
+
+    def _detect_failure(self, result: RunResult) -> Optional[FailureEvent]:
+        for monitor in self.monitors:
+            event = monitor.check(result, self.process)
+            if event is not None:
+                self.events.emit(self.process.clock.now_ns,
+                                 "failure.detected",
+                                 detail=event.describe())
+                return event
+        return None
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+
+    def _handle_failure(self, failure: FailureEvent) -> RecoveryRecord:
+        record = RecoveryRecord(failure=failure)
+        t_start = self.process.clock.now_ns
+        diag_log = EventLog()
+        engine = DiagnosticEngine(
+            self.process, self.manager, self.pool, diag_log,
+            max_checkpoint_search=self.config.max_checkpoint_search,
+            window_intervals=self.config.window_intervals,
+            max_rollbacks=self.config.max_rollbacks)
+        diagnosis = engine.diagnose(failure)
+        record.diagnosis = diagnosis
+        for event in diag_log:
+            self.events.emit(event.time_ns, event.kind, **event.data)
+
+        if diagnosis.verdict is Verdict.NONDETERMINISTIC:
+            # The plain re-execution already carried the program past
+            # the failure region; let it continue normally.
+            self._back_to_normal()
+            record.recovery_time_ns = self.process.clock.now_ns - t_start
+            record.succeeded = True
+            record.notes.append("nondeterministic failure; no patch")
+            return record
+
+        if diagnosis.verdict is Verdict.NON_PATCHABLE:
+            record.recovery_time_ns = self.process.clock.now_ns - t_start
+            record.notes.append("diagnosis could not patch this bug")
+            return record
+
+        # PATCHED: recover by re-executing from the identified
+        # checkpoint with the new patches active.
+        self.policy.refresh()
+        window_end = (failure.instr_count
+                      + self.config.window_intervals
+                      * self.manager.interval)
+        recovered = self._recover(diagnosis, window_end)
+        record.recovery_time_ns = self.process.clock.now_ns - t_start
+        record.succeeded = recovered
+        if not recovered:
+            record.notes.append("patched re-execution failed again")
+            return record
+        self.events.emit(self.process.clock.now_ns, "recovery.done",
+                         time_s=record.recovery_time_ns / 1e9,
+                         patches=len(diagnosis.patches))
+        if self.config.pool_path:
+            self.pool.save(self.config.pool_path)
+
+        # Validation + report, off the recovery path (clone-based).
+        if self.config.validate and diagnosis.checkpoint is not None:
+            validation = self.validator.validate(
+                self.process, diagnosis.checkpoint, self.pool, window_end)
+            record.validation = validation
+            if not validation.consistent:
+                for patch in diagnosis.patches:
+                    self.pool.remove(patch.patch_id)
+                self.policy.refresh()
+                self.events.emit(self.process.clock.now_ns,
+                                 "validation.failed",
+                                 reasons=validation.reasons)
+                record.notes.append(
+                    "validation failed; patches removed: "
+                    + "; ".join(validation.reasons))
+            elif self.config.pool_path:
+                for patch in diagnosis.patches:
+                    patch.validated = True
+                self.pool.save(self.config.pool_path)
+            else:
+                for patch in diagnosis.patches:
+                    patch.validated = True
+        record.report = BugReport(
+            program_name=self.process.program.name,
+            diagnosis=diagnosis,
+            recovery_time_ns=record.recovery_time_ns,
+            validation=record.validation,
+            diagnosis_log=diag_log)
+        return record
+
+    def _recover(self, diagnosis: Diagnosis, window_end: int) -> bool:
+        """Re-execute from the diagnosis checkpoint in normal mode with
+        patches applied; True when the failure region is passed."""
+        checkpoint = diagnosis.checkpoint
+        for attempt in range(self.config.max_recovery_attempts):
+            self.manager.rollback_to(checkpoint)
+            self.manager.drop_after(checkpoint)
+            self._back_to_normal()
+            self.process.reseed_entropy(
+                self.config.entropy_seed + 7000 + attempt)
+            result = self.process.run(stop_at=window_end)
+            if result.reason in (RunReason.STOP, RunReason.HALT,
+                                 RunReason.INPUT_EXHAUSTED):
+                return True
+        return False
+
+    def _back_to_normal(self) -> None:
+        self.process.set_mode(ExtensionMode.NORMAL, self.policy)
+        self.process.machine.trace_accesses = False
+        self.process.extension.trace_mm = False

@@ -1,0 +1,187 @@
+"""Patch validation under randomized allocation (paper Section 5).
+
+A patch that merely *happens* to dodge the failure through a lucky heap
+layout must not stay installed (and must not mislead developers).  The
+validation engine re-executes the buggy region three times, each with a
+differently-seeded randomized allocator, with full memory-management
+and illegal-access tracing enabled (this repo's Pin analogue), and
+checks that the patch's effect is consistent:
+
+(a) the patch is triggered the same number of times in every run;
+(b) the same number of illegal accesses is neutralized by the patch;
+(c) each illegal access comes from the same instruction at the same
+    offset within its memory object (addresses themselves differ run
+    to run -- that is the point of the randomization).
+
+Validation operates on a *clone* of the process restored from the
+diagnosis checkpoint, so it runs off the recovery critical path, as the
+paper does on a spare core.  Its cost is reported separately as the
+validation time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.checkpoint.snapshot import Checkpoint
+from repro.core.patches import PatchPool
+from repro.heap.extension import ExtensionMode, IllegalAccess, MMTraceEntry
+from repro.process import Process
+from repro.util.events import EventLog
+from repro.vm.machine import RunReason, RunResult
+
+
+@dataclass
+class IterationTrace:
+    """Everything observed in one validation re-execution."""
+
+    seed: int
+    passed: bool
+    result: RunResult
+    mm_trace: List[MMTraceEntry] = field(default_factory=list)
+    illegal_accesses: List[IllegalAccess] = field(default_factory=list)
+
+    def patch_triggers(self) -> Counter:
+        """patch_id -> number of operations the patch applied to."""
+        counts: Counter = Counter()
+        for entry in self.mm_trace:
+            if entry.patch_id is not None:
+                counts[entry.patch_id] += 1
+        return counts
+
+    def access_multiset(self) -> Counter:
+        """(patch_id, kind, instr, offset) -> count; the identity the
+        consistency criterion (c) compares."""
+        counts: Counter = Counter()
+        for access in self.illegal_accesses:
+            counts[(access.patch_id,) + access.identity()] += 1
+        return counts
+
+
+@dataclass
+class ValidationResult:
+    consistent: bool
+    iterations: List[IterationTrace] = field(default_factory=list)
+    reasons: List[str] = field(default_factory=list)
+    time_ns: int = 0
+    #: memory-management trace of an *unpatched* re-execution, for the
+    #: with/without diff in the bug report (Figure 5, item 4).
+    baseline_mm_trace: List[MMTraceEntry] = field(default_factory=list)
+
+    @property
+    def illegal_access_count(self) -> int:
+        if not self.iterations:
+            return 0
+        return len(self.iterations[0].illegal_accesses)
+
+
+class ValidationEngine:
+    """Validates the patches generated for one diagnosis."""
+
+    def __init__(self, iterations: int = 3,
+                 events: Optional[EventLog] = None):
+        self.iterations = iterations
+        self.events = events if events is not None else EventLog()
+
+    def validate(self, process: Process, checkpoint: Checkpoint,
+                 pool: PatchPool, window_end: int) -> ValidationResult:
+        result = ValidationResult(consistent=True)
+        saved_triggers = {p.patch_id: p.trigger_count
+                          for p in pool.patches()}
+        try:
+            for i in range(self.iterations):
+                trace = self._one_iteration(
+                    process, checkpoint, pool, window_end, seed=101 + i,
+                    result=result)
+                result.iterations.append(trace)
+            result.baseline_mm_trace = self._baseline_trace(
+                process, checkpoint, window_end, result)
+        finally:
+            # Validation runs must not distort the live pool's
+            # trigger accounting.
+            for patch in pool.patches():
+                patch.trigger_count = saved_triggers.get(
+                    patch.patch_id, patch.trigger_count)
+        self._check_consistency(result)
+        self.events.emit(0, "validation.done",
+                         consistent=result.consistent,
+                         iterations=len(result.iterations),
+                         time_s=result.time_ns / 1e9,
+                         reasons=result.reasons)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _one_iteration(self, process: Process, checkpoint: Checkpoint,
+                       pool: PatchPool, window_end: int, seed: int,
+                       result: ValidationResult) -> IterationTrace:
+        clone = process.clone(checkpoint.state)
+        clone.use_randomized_allocator(seed)
+        clone.set_mode(ExtensionMode.VALIDATION, pool.policy())
+        clone.set_costs(process.costs.replay_model())
+        clone.extension.trace_mm = True
+        clone.machine.trace_accesses = True
+        clone.reseed_entropy(seed * 7919)
+        run = clone.run(stop_at=window_end)
+        passed = run.reason in (RunReason.STOP, RunReason.HALT,
+                                RunReason.INPUT_EXHAUSTED)
+        result.time_ns += clone.clock.now_ns
+        return IterationTrace(
+            seed=seed, passed=passed, result=run,
+            mm_trace=list(clone.extension.mm_trace),
+            illegal_accesses=list(clone.extension.illegal_accesses))
+
+    def _baseline_trace(self, process: Process, checkpoint: Checkpoint,
+                        window_end: int,
+                        result: ValidationResult) -> List[MMTraceEntry]:
+        """Unpatched re-execution (runs into the failure); its trace is
+        diffed against the patched traces in the bug report."""
+        clone = process.clone(checkpoint.state)
+        clone.set_mode(ExtensionMode.DIAGNOSTIC, None)
+        clone.extension.policy = _null_policy()
+        clone.set_costs(process.costs.replay_model())
+        clone.extension.trace_mm = True
+        clone.run(stop_at=window_end)
+        result.time_ns += clone.clock.now_ns
+        return list(clone.extension.mm_trace)
+
+    # ------------------------------------------------------------------
+
+    def _check_consistency(self, result: ValidationResult) -> None:
+        runs = result.iterations
+        if not runs:
+            result.consistent = False
+            result.reasons.append("no validation iterations ran")
+            return
+        for trace in runs:
+            if not trace.passed:
+                result.consistent = False
+                result.reasons.append(
+                    f"iteration seed={trace.seed} failed the buggy "
+                    f"region under randomization: {trace.result!r}")
+        first = runs[0]
+        for trace in runs[1:]:
+            if trace.patch_triggers() != first.patch_triggers():
+                result.consistent = False
+                result.reasons.append(
+                    "criterion (a): patch trigger counts differ "
+                    f"between seeds {first.seed} and {trace.seed}")
+            if (len(trace.illegal_accesses)
+                    != len(first.illegal_accesses)):
+                result.consistent = False
+                result.reasons.append(
+                    "criterion (b): neutralized illegal-access totals "
+                    f"differ between seeds {first.seed} and {trace.seed}")
+            if trace.access_multiset() != first.access_multiset():
+                result.consistent = False
+                result.reasons.append(
+                    "criterion (c): illegal accesses differ in "
+                    "instruction/offset identity between seeds "
+                    f"{first.seed} and {trace.seed}")
+
+
+def _null_policy():
+    from repro.heap.extension import ChangePolicy
+    return ChangePolicy()

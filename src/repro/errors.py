@@ -1,0 +1,120 @@
+"""Exception hierarchy for the First-Aid reproduction.
+
+Two distinct families live here and must never be confused:
+
+* :class:`SimulatedFault` and its subclasses model failures *inside* the
+  simulated program (segmentation faults, assertion failures, heap
+  corruption).  They are the events the error monitors catch and the
+  diagnostic engine reasons about.  They carry the machine state at the
+  instant of the fault.
+
+* :class:`ReproError` and its subclasses are host-level errors: misuse of
+  the library API, compiler errors in MiniC sources, malformed patches.
+  They indicate a bug in the caller (or in this library), not in the
+  simulated application.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for host-level errors raised by this library."""
+
+
+class CompileError(ReproError):
+    """Raised by the MiniC compiler on a malformed source program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ProgramError(ReproError):
+    """Raised when a VM program is structurally invalid (bad label,
+    unknown function, operand count mismatch)."""
+
+
+class AllocatorError(ReproError):
+    """Raised on misuse of the allocator API by host code (not by the
+    simulated program -- simulated heap corruption is a fault)."""
+
+
+class CheckpointError(ReproError):
+    """Raised when checkpoint/rollback is used inconsistently, e.g.
+    restoring a snapshot from a different machine."""
+
+
+class PatchError(ReproError):
+    """Raised on malformed runtime patches or patch-pool misuse."""
+
+
+class DiagnosisTimeout(ReproError):
+    """Raised internally when the diagnostic engine exhausts its rollback
+    budget without isolating a patchable bug.  The runtime converts this
+    into a 'non-patchable' verdict rather than letting it escape."""
+
+
+class SimulatedFault(Exception):
+    """Base class for failures raised by the *simulated* program.
+
+    Attributes
+    ----------
+    address:
+        Faulting memory address, if the fault involved a memory access.
+    instr_id:
+        ``(function_name, pc)`` of the instruction that faulted, when the
+        machine attaches it.
+    """
+
+    kind = "fault"
+
+    def __init__(self, message: str = "", address: int = None,
+                 instr_id=None):
+        super().__init__(message)
+        self.address = address
+        self.instr_id = instr_id
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.address is not None:
+            parts.append(f"addr=0x{self.address:x}")
+        if self.instr_id is not None:
+            parts.append(f"at={self.instr_id[0]}+{self.instr_id[1]}")
+        msg = str(self)
+        if msg:
+            parts.append(msg)
+        return " ".join(parts)
+
+
+class SegmentationFault(SimulatedFault):
+    """Access to an unmapped address in the simulated address space."""
+
+    kind = "SIGSEGV"
+
+
+class AssertionFailure(SimulatedFault):
+    """A simulated ``assert`` evaluated to false."""
+
+    kind = "assert"
+
+
+class HeapCorruptionFault(SimulatedFault):
+    """The allocator detected corrupted chunk metadata (the analogue of
+    glibc aborting with 'corrupted double-linked list')."""
+
+    kind = "heap-corruption"
+
+
+class DivisionByZeroFault(SimulatedFault):
+    """Integer division or modulo by zero in the simulated program."""
+
+    kind = "div-by-zero"
+
+
+class OutOfMemoryFault(SimulatedFault):
+    """The simulated heap cannot satisfy an allocation request."""
+
+    kind = "oom"

@@ -1,0 +1,53 @@
+"""Simulated heap substrate.
+
+This package is the reproduction's analogue of the paper's modified Lea
+allocator inside glibc:
+
+* :mod:`repro.heap.base` -- a flat, byte-addressable memory with page
+  granularity dirty tracking (feeds COW accounting in checkpoints);
+* :mod:`repro.heap.chunk` -- boundary-tag chunk headers stored *in* that
+  memory, so stray writes corrupt allocator metadata exactly as in C;
+* :mod:`repro.heap.allocator` -- the Lea-style allocator (size-class
+  bins, splitting, coalescing, wilderness/top chunk);
+* :mod:`repro.heap.extension` -- First-Aid's allocator extension with its
+  normal / diagnostic / validation modes;
+* :mod:`repro.heap.quarantine` -- the delay-free list behind the
+  "delay free" preventive change;
+* :mod:`repro.heap.canary` -- canary fill/check helpers;
+* :mod:`repro.heap.random_alloc` -- randomized placement used by the
+  validation engine.
+"""
+
+from repro.heap.base import Memory, PAGE_SIZE
+from repro.heap.allocator import LeaAllocator
+from repro.heap.canary import CANARY_BYTE, canary_fill, canary_intact, corrupted_offsets
+from repro.heap.quarantine import DelayFreeQuarantine
+from repro.heap.extension import (
+    AllocatorExtension,
+    AllocDecision,
+    FreeDecision,
+    ExtensionMode,
+    ObjectInfo,
+    ObjectState,
+    IllegalAccess,
+    MMTraceEntry,
+)
+
+__all__ = [
+    "Memory",
+    "PAGE_SIZE",
+    "LeaAllocator",
+    "CANARY_BYTE",
+    "canary_fill",
+    "canary_intact",
+    "corrupted_offsets",
+    "DelayFreeQuarantine",
+    "AllocatorExtension",
+    "AllocDecision",
+    "FreeDecision",
+    "ExtensionMode",
+    "ObjectInfo",
+    "ObjectState",
+    "IllegalAccess",
+    "MMTraceEntry",
+]

@@ -1,0 +1,155 @@
+"""Flat byte-addressable simulated memory.
+
+One :class:`Memory` instance is the heap segment of a simulated process.
+It starts at :data:`HEAP_BASE` and grows upward through :meth:`sbrk`,
+like a classic Unix data segment.  Any access outside ``[base, brk)`` --
+including the low "NULL page" region -- raises
+:class:`~repro.errors.SegmentationFault`.  Accesses *inside* the break
+never fault even if they hit free chunks or allocator metadata; that is
+precisely how dangling pointers and overflows corrupt state silently in
+a real process.
+
+The memory records which pages have been written since the last
+:meth:`clear_dirty` call.  The checkpoint manager uses this as the
+copy-on-write page set: the paper's Flashback checkpointing only copies
+pages dirtied in each interval, and Tables 6-7 measure exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.errors import SegmentationFault
+
+PAGE_SIZE = 4096
+
+#: Base virtual address of the simulated heap.  Chosen high enough that
+#: small integers, canary-derived garbage values, and NULL all fault.
+HEAP_BASE = 0x0010_0000
+
+#: Default ceiling for heap growth (64 MiB of simulated heap).
+DEFAULT_LIMIT = 64 * 1024 * 1024
+
+
+class Memory:
+    """The simulated heap segment.
+
+    Addresses are plain ints in a 64-bit space.  Only ``[base, brk)`` is
+    mapped.  Reads of freshly grown pages return zeros (as from the OS);
+    reused bytes keep their previous contents (as from a real allocator).
+    """
+
+    __slots__ = ("base", "limit", "_buf", "_dirty_pages")
+
+    def __init__(self, base: int = HEAP_BASE, limit: int = DEFAULT_LIMIT):
+        if base % PAGE_SIZE:
+            raise ValueError("heap base must be page aligned")
+        self.base = base
+        self.limit = limit
+        self._buf = bytearray()
+        self._dirty_pages: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # segment management
+    # ------------------------------------------------------------------
+
+    @property
+    def brk(self) -> int:
+        """Current program break (first unmapped address)."""
+        return self.base + len(self._buf)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return len(self._buf)
+
+    def sbrk(self, delta: int) -> int:
+        """Grow the segment by ``delta`` bytes (rounded up to pages).
+
+        Returns the old break, like the Unix call.  Shrinking is not
+        supported (the Lea allocator here never trims).
+        """
+        if delta < 0:
+            raise ValueError("sbrk shrink not supported")
+        old_brk = self.brk
+        grow = -(-delta // PAGE_SIZE) * PAGE_SIZE
+        if len(self._buf) + grow > self.limit:
+            return -1  # allocator turns this into OutOfMemoryFault
+        self._buf.extend(b"\x00" * grow)
+        return old_brk
+
+    def is_mapped(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.brk and size >= 0
+
+    def _check(self, addr: int, size: int) -> int:
+        """Translate ``addr`` to a buffer offset or fault."""
+        off = addr - self.base
+        if off < 0 or size < 0 or off + size > len(self._buf):
+            raise SegmentationFault(
+                f"access of {size} byte(s) outside [0x{self.base:x}, "
+                f"0x{self.brk:x})", address=addr)
+        return off
+
+    # ------------------------------------------------------------------
+    # raw access
+    # ------------------------------------------------------------------
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        off = self._check(addr, size)
+        return bytes(self._buf[off:off + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        off = self._check(addr, len(data))
+        self._buf[off:off + len(data)] = data
+        self._mark_dirty(off, len(data))
+
+    def read_uint(self, addr: int, size: int) -> int:
+        off = self._check(addr, size)
+        return int.from_bytes(self._buf[off:off + size], "little")
+
+    def write_uint(self, addr: int, size: int, value: int) -> None:
+        off = self._check(addr, size)
+        self._buf[off:off + size] = (value & ((1 << (8 * size)) - 1)
+                                     ).to_bytes(size, "little")
+        self._mark_dirty(off, size)
+
+    def fill(self, addr: int, byte: int, size: int) -> None:
+        off = self._check(addr, size)
+        self._buf[off:off + size] = bytes([byte & 0xFF]) * size
+        self._mark_dirty(off, size)
+
+    def copy_within(self, dst: int, src: int, size: int) -> None:
+        data = self.read_bytes(src, size)
+        self.write_bytes(dst, data)
+
+    # ------------------------------------------------------------------
+    # dirty-page (COW) accounting
+    # ------------------------------------------------------------------
+
+    def _mark_dirty(self, off: int, size: int) -> None:
+        first = off // PAGE_SIZE
+        last = (off + max(size, 1) - 1) // PAGE_SIZE
+        self._dirty_pages.update(range(first, last + 1))
+
+    @property
+    def dirty_pages(self) -> FrozenSet[int]:
+        return frozenset(self._dirty_pages)
+
+    @property
+    def dirty_page_count(self) -> int:
+        return len(self._dirty_pages)
+
+    def clear_dirty(self) -> None:
+        self._dirty_pages.clear()
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (used by checkpointing)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """An opaque, immutable snapshot of the segment contents."""
+        return (bytes(self._buf), frozenset(self._dirty_pages))
+
+    def restore(self, snap: tuple) -> None:
+        buf, dirty = snap
+        self._buf = bytearray(buf)
+        self._dirty_pages = set(dirty)

@@ -1,0 +1,52 @@
+"""Canary patterns.
+
+The paper (Section 1.2) defines a canary as "certain memory content
+patterns that are unlikely to appear during normal program execution".
+We use the repeated byte ``0xCB``.  Two properties make it effective in
+this simulation, mirroring the real system:
+
+* an 8-byte load from a canary-filled region yields
+  ``0xCBCBCBCBCBCBCBCB``; dereferencing that as a pointer is far outside
+  the mapped heap and faults immediately -- this is how canary-filling
+  delay-freed objects turns dangling-pointer *reads* into failures, and
+  how canary-filling fresh objects exposes uninitialized reads;
+* checking whether a padding or a delay-freed object still holds the
+  pattern detects stray *writes* (buffer overflow, dangling-pointer
+  write) as "canary corruption", including exactly where it happened.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.heap.base import Memory
+
+CANARY_BYTE = 0xCB
+
+#: The value an 8-byte little-endian load sees in a canary region.
+CANARY_WORD = int.from_bytes(bytes([CANARY_BYTE]) * 8, "little")
+
+
+def canary_fill(mem: Memory, addr: int, size: int) -> None:
+    """Fill ``[addr, addr+size)`` with the canary pattern."""
+    if size > 0:
+        mem.fill(addr, CANARY_BYTE, size)
+
+
+def canary_intact(mem: Memory, addr: int, size: int) -> bool:
+    """True iff the whole region still holds the canary pattern."""
+    if size <= 0:
+        return True
+    return mem.read_bytes(addr, size) == bytes([CANARY_BYTE]) * size
+
+
+def corrupted_offsets(mem: Memory, addr: int, size: int) -> List[int]:
+    """Offsets within the region whose canary byte was overwritten.
+
+    Used to pinpoint *where* an overflow or dangling write landed; the
+    offsets feed the bug report's illegal-access summary.
+    """
+    if size <= 0:
+        return []
+    data = mem.read_bytes(addr, size)
+    return [i for i, b in enumerate(data) if b != CANARY_BYTE]

@@ -1,0 +1,118 @@
+"""Boundary-tag chunk layout, stored in simulated memory.
+
+Layout (all little-endian, 16-byte aligned chunks)::
+
+    chunk_addr + 0   u64  size_flags   chunk size incl. header; bit0 = IN_USE
+    chunk_addr + 8   u64  prev_size    size of the physically previous chunk
+    chunk_addr + 16  ...  user data    (user pointer = chunk_addr + 16)
+
+Because the header lives in the same byte array the program writes
+through, a buffer overflow that runs off the end of one object smashes
+the next chunk's ``size_flags`` -- and the allocator later trips over it
+exactly the way dlmalloc does.  That in-memory corruption path is what
+several of the paper's bug manifestations depend on, so it cannot be
+replaced by Python-side bookkeeping.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HeapCorruptionFault
+from repro.heap.base import Memory
+
+HEADER_SIZE = 16
+ALIGN = 16
+MIN_CHUNK = 32  # header + minimal 16-byte payload
+
+FLAG_IN_USE = 0x1
+_FLAG_MASK = 0xF
+
+
+def round_chunk_size(payload: int) -> int:
+    """Chunk size needed for ``payload`` user bytes."""
+    need = max(payload, 1) + HEADER_SIZE
+    size = (need + ALIGN - 1) // ALIGN * ALIGN
+    return max(size, MIN_CHUNK)
+
+
+class ChunkView:
+    """Read/write access to one chunk header in memory.
+
+    A lightweight cursor, not an owner: it validates on demand and
+    raises :class:`HeapCorruptionFault` when the header is insane, which
+    is the simulated analogue of glibc's abort-on-corruption.
+    """
+
+    __slots__ = ("mem", "addr")
+
+    def __init__(self, mem: Memory, addr: int):
+        self.mem = mem
+        self.addr = addr
+
+    # -- raw fields ----------------------------------------------------
+
+    @property
+    def size_flags(self) -> int:
+        return self.mem.read_uint(self.addr, 8)
+
+    @size_flags.setter
+    def size_flags(self, value: int) -> None:
+        self.mem.write_uint(self.addr, 8, value)
+
+    @property
+    def prev_size(self) -> int:
+        return self.mem.read_uint(self.addr + 8, 8)
+
+    @prev_size.setter
+    def prev_size(self, value: int) -> None:
+        self.mem.write_uint(self.addr + 8, 8, value)
+
+    # -- derived -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.size_flags & ~_FLAG_MASK
+
+    @property
+    def in_use(self) -> bool:
+        return bool(self.size_flags & FLAG_IN_USE)
+
+    @property
+    def user_addr(self) -> int:
+        return self.addr + HEADER_SIZE
+
+    @property
+    def user_size(self) -> int:
+        return self.size - HEADER_SIZE
+
+    @property
+    def next_addr(self) -> int:
+        return self.addr + self.size
+
+    def set(self, size: int, in_use: bool, prev_size: int) -> None:
+        self.size_flags = size | (FLAG_IN_USE if in_use else 0)
+        self.prev_size = prev_size
+
+    def mark_free(self) -> None:
+        self.size_flags = self.size_flags & ~FLAG_IN_USE
+
+    def mark_in_use(self) -> None:
+        self.size_flags = self.size_flags | FLAG_IN_USE
+
+    def validate(self, heap_base: int, heap_top: int) -> None:
+        """Sanity-check the header, faulting on corruption.
+
+        Called by the allocator before trusting a header it is about to
+        operate on (free, coalesce, bin reuse)."""
+        size = self.size
+        if size < MIN_CHUNK or size % ALIGN:
+            raise HeapCorruptionFault(
+                f"invalid chunk size {size} at 0x{self.addr:x}",
+                address=self.addr)
+        if self.addr < heap_base or self.addr + size > heap_top:
+            raise HeapCorruptionFault(
+                f"chunk at 0x{self.addr:x} size {size} escapes heap",
+                address=self.addr)
+
+    def __repr__(self) -> str:
+        return (f"Chunk(0x{self.addr:x}, size={self.size}, "
+                f"in_use={self.in_use})")

@@ -1,0 +1,648 @@
+"""First-Aid's memory allocator extension.
+
+The extension (paper Section 3) wraps the underlying Lea allocator and
+operates in one of three modes:
+
+* **normal** -- every allocation/deallocation call-site is checked
+  against the available runtime patches; matching objects get the
+  patch's preventive change.  This is the only extension work during
+  bug-free production execution, which is why overhead stays low.
+* **diagnostic** -- applies preventive and/or exposing changes as
+  instructed by the diagnostic engine (through a
+  :class:`ChangePolicy`), captures multi-level call-sites for every
+  operation, and checks deallocation parameters to catch double frees.
+* **validation** -- additionally randomizes placement (the machine is
+  given a :class:`~repro.heap.random_alloc.RandomizedLeaAllocator`) and
+  traces memory-management operations plus illegal memory accesses
+  (this repo's stand-in for Pin instrumentation).
+
+The extension also exists in a fourth, **off** state used only for the
+"original allocator" baseline in the overhead experiments: requests are
+forwarded untouched and nothing is recorded or charged.
+
+Padding geometry follows the paper: ~1 KB of padding per patched object
+(Table 5 reports 1016 bytes), split across both ends of the object.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import HeapCorruptionFault
+from repro.heap.allocator import LeaAllocator
+from repro.heap.base import Memory
+from repro.heap.canary import canary_fill, corrupted_offsets
+from repro.heap.chunk import HEADER_SIZE
+from repro.heap.quarantine import DEFAULT_THRESHOLD, DelayFreeQuarantine
+from repro.util.callsite import CallSite
+from repro.util.simclock import CostModel, SimClock
+
+#: Per-object metadata footprint reported by the paper (Section 7.6.2).
+METADATA_BYTES = 16
+
+#: Default padding split: 504 + 512 = 1016 bytes, matching Table 5.
+PAD_PRE = 504
+PAD_POST = 512
+
+
+class ExtensionMode(Enum):
+    OFF = "off"
+    NORMAL = "normal"
+    DIAGNOSTIC = "diagnostic"
+    VALIDATION = "validation"
+
+
+class ObjectState(Enum):
+    LIVE = "live"
+    QUARANTINED = "quarantined"
+    FREED = "freed"
+
+
+@dataclass
+class AllocDecision:
+    """What to do to one object at allocation time."""
+
+    pad_pre: int = 0
+    pad_post: int = 0
+    canary_pad: bool = False        # fill padding with canary (exposing)
+    fill: Optional[str] = None      # None | "zero" | "canary"
+    patch_id: Optional[int] = None  # patch that caused this, if any
+
+    @classmethod
+    def plain(cls) -> "AllocDecision":
+        return cls()
+
+
+@dataclass
+class FreeDecision:
+    """What to do to one object at deallocation time."""
+
+    delay: bool = False
+    canary_fill: bool = False       # fill contents with canary (exposing)
+    check_param: bool = False       # swallow frees of non-live pointers
+    patch_id: Optional[int] = None
+
+    @classmethod
+    def plain(cls) -> "FreeDecision":
+        return cls()
+
+
+class ChangePolicy:
+    """Decides the environmental changes for each operation.
+
+    Subclassed by the diagnostic engine (whole-heap or per-call-site
+    changes) and by the patch pool (normal mode).  The default applies
+    nothing.
+    """
+
+    def on_alloc(self, callsite: Optional[CallSite]) -> AllocDecision:
+        return AllocDecision.plain()
+
+    def on_free(self, callsite: Optional[CallSite],
+                user_addr: int) -> FreeDecision:
+        return FreeDecision.plain()
+
+
+@dataclass
+class ObjectInfo:
+    """Extension-side record of one object (the 16-byte metadata)."""
+
+    user_addr: int
+    user_size: int
+    block_addr: int        # allocator-level address (start of pre-pad)
+    block_size: int
+    pad_pre: int
+    pad_post: int
+    canary_pad: bool
+    fill: Optional[str]
+    alloc_site: Optional[CallSite]
+    alloc_seq: int
+    patch_id: Optional[int] = None
+    state: ObjectState = ObjectState.LIVE
+    free_site: Optional[CallSite] = None
+    free_patch_id: Optional[int] = None
+    canary_filled_on_free: bool = False
+    written: Optional[bytearray] = None  # init-tracking (validation only)
+
+    def contains(self, addr: int) -> bool:
+        return self.user_addr <= addr < self.user_addr + self.user_size
+
+    def in_pre_pad(self, addr: int) -> bool:
+        return self.block_addr <= addr < self.user_addr
+
+    def in_post_pad(self, addr: int) -> bool:
+        end = self.user_addr + self.user_size
+        return self.pad_post > 0 and end <= addr < self.block_addr + self.block_size
+
+
+@dataclass(frozen=True)
+class MMTraceEntry:
+    """One line of the memory-management trace (bug report item 4)."""
+
+    seq: int
+    op: str                # "malloc" | "free"
+    user_addr: int
+    size: int
+    callsite: Optional[CallSite]
+    patch_id: Optional[int]
+    delayed: bool = False
+    fill: Optional[str] = None
+
+    def render(self) -> str:
+        site = (f" @{self.callsite.innermost[0]}"
+                if self.callsite else "")
+        extra = ""
+        if self.delayed:
+            extra = f"  (delayed, patch {self.patch_id})"
+        elif self.patch_id is not None:
+            extra = f"  (patch {self.patch_id})"
+        if self.op == "malloc":
+            return f"malloc({self.size}): 0x{self.user_addr:x}{site}{extra}"
+        return f"free(0x{self.user_addr:x}){site}{extra}"
+
+
+@dataclass(frozen=True)
+class IllegalAccess:
+    """One traced illegal access (bug report item 5).
+
+    ``offset`` is relative to the start of the affected object, so it is
+    stable under address randomization -- consistency criterion (c) of
+    the validation algorithm compares exactly (instr_id, offset, kind).
+    """
+
+    kind: str              # "overflow-write" | "dangling-read" |
+                           # "dangling-write" | "uninit-read"
+    instr_id: Tuple[str, int]
+    offset: int
+    is_write: bool
+    site: Optional[CallSite]
+    patch_id: Optional[int]
+
+    def identity(self) -> tuple:
+        return (self.kind, self.instr_id, self.offset, self.is_write)
+
+
+@dataclass
+class OverflowHit:
+    user_addr: int
+    user_size: int
+    alloc_site: Optional[CallSite]
+    side: str              # "pre" | "post"
+    offsets: List[int]
+
+
+@dataclass
+class DanglingWriteHit:
+    user_addr: int
+    user_size: int
+    free_site: Optional[CallSite]
+    offsets: List[int]
+
+
+@dataclass
+class DoubleFreeEvent:
+    user_addr: int
+    second_site: Optional[CallSite]
+    first_site: Optional[CallSite]
+
+
+@dataclass
+class Manifestations:
+    """Everything a manifestation scan can report."""
+
+    overflow_hits: List[OverflowHit] = field(default_factory=list)
+    dangling_write_hits: List[DanglingWriteHit] = field(default_factory=list)
+    double_free_events: List[DoubleFreeEvent] = field(default_factory=list)
+
+    def any(self) -> bool:
+        return bool(self.overflow_hits or self.dangling_write_hits
+                    or self.double_free_events)
+
+
+class AllocatorExtension:
+    """The allocator extension; the VM routes malloc/free through it."""
+
+    def __init__(self, mem: Memory, allocator: LeaAllocator,
+                 mode: ExtensionMode = ExtensionMode.NORMAL,
+                 policy: Optional[ChangePolicy] = None,
+                 clock: Optional[SimClock] = None,
+                 costs: Optional[CostModel] = None,
+                 quarantine_threshold: int = DEFAULT_THRESHOLD):
+        self.mem = mem
+        self.allocator = allocator
+        self.mode = mode
+        self.policy = policy or ChangePolicy()
+        self.clock = clock
+        self.costs = costs or CostModel()
+        self.quarantine = DelayFreeQuarantine(
+            self._release_quarantined, quarantine_threshold)
+
+        self._objects: Dict[int, ObjectInfo] = {}
+        self._starts: List[int] = []            # sorted block starts
+        self._by_start: Dict[int, int] = {}     # block start -> user addr
+        self._alloc_seq = 0
+
+        # Memory-pressure failsafe (paper Section 2): when the extra
+        # memory held by runtime patches (padding + delay-freed
+        # objects) exceeds this limit, patching is disabled and the
+        # oldest delay-freed objects are released.  None = unlimited.
+        self.patch_memory_limit: Optional[int] = None
+        self.patching_disabled = False
+
+        # Manifestation evidence accumulated during a (re-)execution.
+        self._overflow_hits: List[OverflowHit] = []
+        self._dangling_write_hits: List[DanglingWriteHit] = []
+        self._double_free_events: List[DoubleFreeEvent] = []
+
+        # Traces (diagnostic + validation modes).
+        self.mm_trace: List[MMTraceEntry] = []
+        self.illegal_accesses: List[IllegalAccess] = []
+        self.trace_mm = False
+
+        # Statistics for the space-overhead experiments.
+        self.metadata_bytes = 0
+        self.peak_metadata_bytes = 0
+        self.padding_bytes = 0
+        self.peak_padding_bytes = 0
+        self.patch_trigger_count = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _charge(self, ns: int) -> None:
+        if self.clock is not None and ns:
+            self.clock.charge(ns)
+
+    def _op_cost(self) -> int:
+        if self.mode is ExtensionMode.OFF:
+            return 0
+        cost = self.costs.extension_ns
+        if self.mode is ExtensionMode.NORMAL:
+            cost += self.costs.patch_lookup_ns
+        elif self.mode is ExtensionMode.DIAGNOSTIC:
+            cost += self.costs.extension_ns  # multi-level capture etc.
+        elif self.mode is ExtensionMode.VALIDATION:
+            cost += 2 * self.costs.extension_ns
+        return cost
+
+    def _index_add(self, obj: ObjectInfo) -> None:
+        bisect.insort(self._starts, obj.block_addr)
+        self._by_start[obj.block_addr] = obj.user_addr
+
+    def _index_remove(self, obj: ObjectInfo) -> None:
+        i = bisect.bisect_left(self._starts, obj.block_addr)
+        if i < len(self._starts) and self._starts[i] == obj.block_addr:
+            self._starts.pop(i)
+        self._by_start.pop(obj.block_addr, None)
+
+    def find_object(self, addr: int) -> Optional[ObjectInfo]:
+        """Tracked object whose *block* (padding included) covers addr."""
+        i = bisect.bisect_right(self._starts, addr) - 1
+        if i < 0:
+            return None
+        start = self._starts[i]
+        obj = self._objects.get(self._by_start[start])
+        if obj and start <= addr < start + obj.block_size:
+            return obj
+        return None
+
+    def live_objects(self) -> List[ObjectInfo]:
+        return [o for o in self._objects.values()
+                if o.state is ObjectState.LIVE]
+
+    def object_at(self, user_addr: int) -> Optional[ObjectInfo]:
+        return self._objects.get(user_addr)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int, callsite: Optional[CallSite]) -> int:
+        if self.mode is ExtensionMode.OFF:
+            return self.allocator.malloc(size)
+
+        self._charge(self._op_cost())
+        decision = self.policy.on_alloc(callsite)
+        if self.patching_disabled and decision.patch_id is not None:
+            decision = AllocDecision.plain()
+        block_size = decision.pad_pre + size + decision.pad_post
+        block_addr = self.allocator.malloc(block_size)
+        user_addr = block_addr + decision.pad_pre
+
+        if decision.canary_pad:
+            canary_fill(self.mem, block_addr, decision.pad_pre)
+            canary_fill(self.mem, user_addr + size, decision.pad_post)
+            self._charge(self.costs.fill_cost(
+                decision.pad_pre + decision.pad_post))
+        if decision.fill == "zero":
+            if size:
+                self.mem.fill(user_addr, 0, size)
+            self._charge(self.costs.fill_cost(size))
+        elif decision.fill == "canary":
+            canary_fill(self.mem, user_addr, size)
+            self._charge(self.costs.fill_cost(size))
+
+        self._alloc_seq += 1
+        obj = ObjectInfo(
+            user_addr=user_addr, user_size=size,
+            block_addr=block_addr,
+            block_size=self.allocator.usable_size(block_addr),
+            pad_pre=decision.pad_pre, pad_post=decision.pad_post,
+            canary_pad=decision.canary_pad, fill=decision.fill,
+            alloc_site=callsite, alloc_seq=self._alloc_seq,
+            patch_id=decision.patch_id,
+        )
+        if self.mode is ExtensionMode.VALIDATION and decision.fill == "zero":
+            obj.written = bytearray(size)
+        self._objects[user_addr] = obj
+        self._index_add(obj)
+
+        self.metadata_bytes += METADATA_BYTES
+        self.peak_metadata_bytes = max(self.peak_metadata_bytes,
+                                       self.metadata_bytes)
+        pad = decision.pad_pre + decision.pad_post
+        if pad:
+            self.padding_bytes += pad
+            self.peak_padding_bytes = max(self.peak_padding_bytes,
+                                          self.padding_bytes)
+        if decision.patch_id is not None:
+            self.patch_trigger_count += 1
+        if self.trace_mm:
+            self.mm_trace.append(MMTraceEntry(
+                seq=self._alloc_seq, op="malloc", user_addr=user_addr,
+                size=size, callsite=callsite, patch_id=decision.patch_id,
+                fill=decision.fill))
+        if decision.patch_id is not None:
+            self._enforce_patch_memory()
+        return user_addr
+
+    # ------------------------------------------------------------------
+    # deallocation
+    # ------------------------------------------------------------------
+
+    def free(self, user_addr: int, callsite: Optional[CallSite]) -> None:
+        if self.mode is ExtensionMode.OFF:
+            self.allocator.free(user_addr)
+            return
+
+        self._charge(self._op_cost())
+        obj = self._objects.get(user_addr)
+
+        if obj is None or obj.state is not ObjectState.LIVE:
+            self._handle_bad_free(user_addr, callsite, obj)
+            return
+
+        decision = self.policy.on_free(callsite, user_addr)
+        if self.patching_disabled and decision.patch_id is not None:
+            decision = FreeDecision.plain()
+        obj.free_site = callsite
+        obj.free_patch_id = decision.patch_id
+        self._alloc_seq += 1
+        if decision.patch_id is not None:
+            self.patch_trigger_count += 1
+
+        if decision.delay:
+            obj.state = ObjectState.QUARANTINED
+            obj.canary_filled_on_free = decision.canary_fill
+            if decision.canary_fill:
+                canary_fill(self.mem, user_addr, obj.user_size)
+                self._charge(self.costs.fill_cost(obj.user_size))
+            self.quarantine.add(user_addr, obj.user_size, callsite,
+                                decision.canary_fill, decision.patch_id)
+        else:
+            self._really_free(obj)
+
+        if self.trace_mm:
+            self.mm_trace.append(MMTraceEntry(
+                seq=self._alloc_seq, op="free", user_addr=user_addr,
+                size=obj.user_size, callsite=callsite,
+                patch_id=decision.patch_id, delayed=decision.delay))
+        if decision.patch_id is not None:
+            self._enforce_patch_memory()
+
+    def _handle_bad_free(self, user_addr: int,
+                         callsite: Optional[CallSite],
+                         obj: Optional[ObjectInfo]) -> None:
+        """Free of a pointer that is not a live object: a double free or
+        a wild free.  With the parameter check active (delay-free patch
+        or diagnostic mode) it is recorded and swallowed; otherwise it is
+        forwarded and the allocator aborts, crashing the program."""
+        decision = self.policy.on_free(callsite, user_addr)
+        # A quarantined object is no longer the allocator's to free, so
+        # the extension must intercept regardless of policy; otherwise
+        # the check runs only when a policy/patch requests it.
+        check = decision.check_param or (
+            obj is not None and obj.state is ObjectState.QUARANTINED)
+        first_site = obj.free_site if obj is not None else None
+        if check:
+            self._double_free_events.append(
+                DoubleFreeEvent(user_addr, callsite, first_site))
+            if decision.patch_id is not None:
+                self.patch_trigger_count += 1
+            if self.trace_mm:
+                self._alloc_seq += 1
+                self.mm_trace.append(MMTraceEntry(
+                    seq=self._alloc_seq, op="free", user_addr=user_addr,
+                    size=obj.user_size if obj else 0, callsite=callsite,
+                    patch_id=decision.patch_id, delayed=True))
+            return
+        # No protection: the program crashes as a raw run would (glibc
+        # aborts with "double free or corruption").
+        if obj is not None:
+            raise HeapCorruptionFault(
+                f"double free of 0x{user_addr:x}", address=user_addr)
+        self.allocator.free(user_addr)
+
+    def _really_free(self, obj: ObjectInfo) -> None:
+        self._check_pad_canaries(obj)
+        obj.state = ObjectState.FREED
+        self._index_remove(obj)
+        self.metadata_bytes -= METADATA_BYTES
+        pad = obj.pad_pre + obj.pad_post
+        if pad:
+            self.padding_bytes -= pad
+        self.allocator.free(obj.block_addr)
+
+    def _release_quarantined(self, user_addr: int) -> None:
+        """Quarantine eviction callback: perform the real free."""
+        obj = self._objects.get(user_addr)
+        if obj is None:
+            return
+        if obj.canary_filled_on_free:
+            self._check_quarantine_canary(obj)
+        self._really_free(obj)
+
+    # ------------------------------------------------------------------
+    # memory-pressure failsafe
+    # ------------------------------------------------------------------
+
+    @property
+    def patch_memory_bytes(self) -> int:
+        """Extra memory currently held by runtime patches: live
+        padding plus delay-freed objects."""
+        return self.padding_bytes + self.quarantine.current_bytes
+
+    def _enforce_patch_memory(self) -> None:
+        """Disable patching and release the oldest delay-freed
+        objects once the user-defined limit is exceeded (paper
+        Section 2: users choose how much memory to spend on
+        reliability; releasing very old delay-freed objects is usually
+        safe but may let the bug strike again)."""
+        limit = self.patch_memory_limit
+        if limit is None or self.patching_disabled:
+            return
+        if self.patch_memory_bytes <= limit:
+            return
+        self.patching_disabled = True
+        while (self.quarantine.current_bytes > limit // 2
+               and len(self.quarantine)):
+            self.quarantine.pop_oldest()
+
+    # ------------------------------------------------------------------
+    # manifestation evidence
+    # ------------------------------------------------------------------
+
+    def _check_pad_canaries(self, obj: ObjectInfo) -> None:
+        if not obj.canary_pad:
+            return
+        pre = corrupted_offsets(self.mem, obj.block_addr, obj.pad_pre)
+        if pre:
+            self._overflow_hits.append(OverflowHit(
+                obj.user_addr, obj.user_size, obj.alloc_site, "pre", pre))
+        post_start = obj.user_addr + obj.user_size
+        post = corrupted_offsets(self.mem, post_start, obj.pad_post)
+        if post:
+            self._overflow_hits.append(OverflowHit(
+                obj.user_addr, obj.user_size, obj.alloc_site, "post", post))
+
+    def _check_quarantine_canary(self, obj: ObjectInfo) -> None:
+        offs = corrupted_offsets(self.mem, obj.user_addr, obj.user_size)
+        if offs:
+            self._dangling_write_hits.append(DanglingWriteHit(
+                obj.user_addr, obj.user_size, obj.free_site, offs))
+
+    def scan_manifestations(self) -> Manifestations:
+        """Sweep all still-tracked objects for canary corruption and
+        combine with events recorded along the way.  Called by the
+        diagnostic engine at the end of each re-execution window."""
+        for obj in self._objects.values():
+            if obj.state is ObjectState.FREED:
+                continue
+            if obj.canary_pad:
+                # Live or quarantined: padding canaries survive the
+                # free (only the user region gets canary-filled), so
+                # overflow evidence persists into the quarantine.
+                self._check_pad_canaries(obj)
+            if (obj.state is ObjectState.QUARANTINED
+                    and obj.canary_filled_on_free):
+                self._check_quarantine_canary(obj)
+        return Manifestations(
+            overflow_hits=self._dedupe_overflow(),
+            dangling_write_hits=self._dedupe_dangling(),
+            double_free_events=list(self._double_free_events),
+        )
+
+    def _dedupe_overflow(self) -> List[OverflowHit]:
+        seen, out = set(), []
+        for hit in self._overflow_hits:
+            key = (hit.user_addr, hit.side)
+            if key not in seen:
+                seen.add(key)
+                out.append(hit)
+        return out
+
+    def _dedupe_dangling(self) -> List[DanglingWriteHit]:
+        seen, out = set(), []
+        for hit in self._dangling_write_hits:
+            if hit.user_addr not in seen:
+                seen.add(hit.user_addr)
+                out.append(hit)
+        return out
+
+    # ------------------------------------------------------------------
+    # access tracing (validation mode -- the Pin analogue)
+    # ------------------------------------------------------------------
+
+    def note_access(self, addr: int, size: int, is_write: bool,
+                    instr_id: Tuple[str, int]) -> None:
+        """Classify one load/store against tracked objects.
+
+        Only wired up in validation mode; the machine calls this for
+        every LOAD/STORE when ``trace_accesses`` is set.
+        """
+        self._charge(self.costs.trace_ns)
+        obj = self.find_object(addr)
+        if obj is None:
+            return
+        if obj.state is ObjectState.QUARANTINED:
+            self.illegal_accesses.append(IllegalAccess(
+                kind="dangling-write" if is_write else "dangling-read",
+                instr_id=instr_id, offset=addr - obj.user_addr,
+                is_write=is_write, site=obj.free_site,
+                patch_id=obj.free_patch_id))
+            return
+        if obj.state is not ObjectState.LIVE:
+            return
+        if is_write and (obj.in_pre_pad(addr) or obj.in_post_pad(addr)):
+            self.illegal_accesses.append(IllegalAccess(
+                kind="overflow-write", instr_id=instr_id,
+                offset=addr - obj.user_addr, is_write=True,
+                site=obj.alloc_site, patch_id=obj.patch_id))
+            return
+        if obj.written is not None and obj.contains(addr):
+            off = addr - obj.user_addr
+            end = min(off + size, obj.user_size)
+            if is_write:
+                for i in range(off, end):
+                    obj.written[i] = 1
+            elif not all(obj.written[off:end]):
+                self.illegal_accesses.append(IllegalAccess(
+                    kind="uninit-read", instr_id=instr_id, offset=off,
+                    is_write=False, site=obj.alloc_site,
+                    patch_id=obj.patch_id))
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        objects = {addr: replace(
+            o, written=bytearray(o.written) if o.written is not None else None)
+            for addr, o in self._objects.items()}
+        return (
+            objects, list(self._starts), dict(self._by_start),
+            self._alloc_seq, self.quarantine.snapshot(),
+            list(self._overflow_hits), list(self._dangling_write_hits),
+            list(self._double_free_events),
+            list(self.mm_trace), list(self.illegal_accesses),
+            self.metadata_bytes, self.peak_metadata_bytes,
+            self.padding_bytes, self.peak_padding_bytes,
+            self.patch_trigger_count, self.patching_disabled,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        (objects, starts, by_start, seq, quarantine_snap,
+         over, dang, dbl, mm, illegal,
+         meta, peak_meta, pad, peak_pad, triggers, disabled) = snap
+        self._objects = {addr: replace(
+            o, written=bytearray(o.written) if o.written is not None else None)
+            for addr, o in objects.items()}
+        self._starts = list(starts)
+        self._by_start = dict(by_start)
+        self._alloc_seq = seq
+        self.quarantine.restore(quarantine_snap)
+        self._overflow_hits = list(over)
+        self._dangling_write_hits = list(dang)
+        self._double_free_events = list(dbl)
+        self.mm_trace = list(mm)
+        self.illegal_accesses = list(illegal)
+        self.metadata_bytes = meta
+        self.peak_metadata_bytes = peak_meta
+        self.padding_bytes = pad
+        self.peak_padding_bytes = peak_pad
+        self.patch_trigger_count = triggers
+        self.patching_disabled = disabled

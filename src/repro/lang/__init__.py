@@ -1,0 +1,23 @@
+"""MiniC: a small C-like language compiled to VM bytecode.
+
+The buggy applications in :mod:`repro.apps` are written in MiniC so that
+their memory bugs read like the real C bugs they model.  The language is
+deliberately tiny:
+
+* one type, the 64-bit integer ``int`` (pointers are ints, as the VM's
+  flat address space intends);
+* functions, globals, locals; ``if``/``else``, ``while``, ``break``,
+  ``continue``, ``return``;
+* C operator set with precedence and short-circuit ``&&``/``||``;
+* builtins mapping 1:1 to VM opcodes: ``malloc(n)``, ``free(p)``,
+  ``load(p)``/``load4``/``load2``/``load1``, ``store(p, v)`` (+ sized
+  variants), ``memset``, ``memcpy``, ``input()``, ``output(v)``,
+  ``assert(c)``, ``halt()``, ``rand()``;
+* ``//`` and ``/* */`` comments, decimal and hex literals.
+"""
+
+from repro.lang.compiler import compile_program
+from repro.lang.lexer import Lexer, Token
+from repro.lang.parser import Parser
+
+__all__ = ["compile_program", "Lexer", "Token", "Parser"]

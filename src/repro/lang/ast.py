@@ -1,0 +1,126 @@
+"""MiniC abstract syntax tree.
+
+Plain dataclasses; each node carries the source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# -- expressions ---------------------------------------------------------
+
+@dataclass
+class NumLit(Node):
+    value: int = 0
+
+
+@dataclass
+class VarRef(Node):
+    name: str = ""
+
+
+@dataclass
+class UnaryOp(Node):
+    op: str = ""           # "!" | "-" | "~"
+    operand: "Expr" = None
+
+
+@dataclass
+class BinaryOp(Node):
+    op: str = ""
+    left: "Expr" = None
+    right: "Expr" = None
+
+
+@dataclass
+class ShortCircuit(Node):
+    op: str = ""           # "&&" | "||"
+    left: "Expr" = None
+    right: "Expr" = None
+
+
+@dataclass
+class Call(Node):
+    name: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+Expr = Node  # any of the above
+
+
+# -- statements ----------------------------------------------------------
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Node):
+    name: str = ""
+    value: Expr = None
+
+
+@dataclass
+class If(Node):
+    cond: Expr = None
+    then: List["Stmt"] = field(default_factory=list)
+    otherwise: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Expr = None
+    body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Expr = None
+
+
+Stmt = Node
+
+
+# -- top level -----------------------------------------------------------
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    init: int = 0
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Module(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

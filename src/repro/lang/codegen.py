@@ -1,0 +1,352 @@
+"""MiniC code generator: AST -> VM bytecode via the builders."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.vm.builder import FunctionBuilder, ProgramBuilder
+from repro.vm.program import Program
+
+#: Builtins: name -> (arity options).  Sized load/store variants map to
+#: the LOAD/STORE width operand.
+_LOAD_SIZES = {"load": 8, "load4": 4, "load2": 2, "load1": 1}
+_STORE_SIZES = {"store": 8, "store4": 4, "store2": 2, "store1": 1}
+
+BUILTINS: Dict[str, tuple] = {
+    "malloc": (1,),
+    "free": (1,),
+    "memset": (3,),
+    "memcpy": (3,),
+    "input": (0,),
+    "output": (1,),
+    "assert": (1,),
+    "halt": (0,),
+    "rand": (0,),
+}
+for _name in _LOAD_SIZES:
+    BUILTINS[_name] = (1, 2)
+for _name in _STORE_SIZES:
+    BUILTINS[_name] = (2, 3)
+
+
+class _TempPool:
+    """Reusable anonymous slots, reset at statement boundaries."""
+
+    def __init__(self, builder: FunctionBuilder):
+        self._builder = builder
+        self._free: List[int] = []
+        self._all: List[int] = []
+
+    def acquire(self) -> int:
+        if self._free:
+            return self._free.pop()
+        slot = self._builder.temp()
+        self._all.append(slot)
+        return slot
+
+    def release(self, slot: int) -> None:
+        if slot in self._all and slot not in self._free:
+            self._free.append(slot)
+
+    def reset(self) -> None:
+        self._free = list(self._all)
+
+
+class FunctionCodegen:
+    """Generates code for one function."""
+
+    def __init__(self, module: ast.Module, func: ast.FuncDecl,
+                 globals_map: Dict[str, int], func_names: Set[str],
+                 global_inits: List[tuple] = ()):
+        self.module = module
+        self.func = func
+        self.globals_map = globals_map
+        self.func_names = func_names
+        self.global_inits = list(global_inits)
+        self.builder = FunctionBuilder(func.name, func.params)
+        # Block-scoped locals: a stack of name->slot maps.  Slots are
+        # never reused across sibling scopes (simple and safe); the
+        # builder name is uniquified so same-named variables in
+        # different blocks get distinct slots.
+        self.scopes: List[Dict[str, int]] = [
+            {p: self.builder.local(p) for p in func.params}]
+        self._decl_counter = 0
+        self.temps = _TempPool(self.builder)
+        self._label_counter = 0
+        self._loop_stack: List[tuple] = []  # (continue_label, break_label)
+
+    def _error(self, node: ast.Node, message: str) -> CompileError:
+        return CompileError(message, node.line, 0)
+
+    def _label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"${hint}{self._label_counter}"
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self, node: ast.Expr) -> int:
+        """Emit code computing ``node``; returns the result slot."""
+        b = self.builder
+        if isinstance(node, ast.NumLit):
+            t = self.temps.acquire()
+            b.const(t, node.value)
+            return t
+        if isinstance(node, ast.VarRef):
+            slot = self._lookup(node.name)
+            if slot is not None:
+                return slot
+            if node.name in self.globals_map:
+                t = self.temps.acquire()
+                b.gload(t, self.globals_map[node.name])
+                return t
+            raise self._error(node, f"undeclared variable {node.name!r}")
+        if isinstance(node, ast.UnaryOp):
+            src = self.expr(node.operand)
+            t = self.temps.acquire()
+            if node.op == "!":
+                b.logical_not(t, src)
+            elif node.op == "-":
+                b.neg(t, src)
+            elif node.op == "~":
+                ones = self.temps.acquire()
+                b.const(ones, (1 << 64) - 1)
+                b.binop("^", t, src, ones)
+                self.temps.release(ones)
+            else:  # pragma: no cover - parser only emits the above
+                raise self._error(node, f"bad unary op {node.op!r}")
+            self.temps.release(src)
+            return t
+        if isinstance(node, ast.BinaryOp):
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            t = self.temps.acquire()
+            b.binop(node.op, t, left, right)
+            self.temps.release(left)
+            self.temps.release(right)
+            return t
+        if isinstance(node, ast.ShortCircuit):
+            return self._short_circuit(node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        raise self._error(node, f"cannot generate code for {node!r}")
+
+    def _short_circuit(self, node: ast.ShortCircuit) -> int:
+        b = self.builder
+        t = self.temps.acquire()
+        done = self._label("sc_end")
+        short = self._label("sc_short")
+        left = self.expr(node.left)
+        if node.op == "&&":
+            b.jz(left, short)
+        else:
+            b.jnz(left, short)
+        self.temps.release(left)
+        right = self.expr(node.right)
+        zero = self.temps.acquire()
+        b.const(zero, 0)
+        b.binop("!=", t, right, zero)
+        self.temps.release(zero)
+        self.temps.release(right)
+        b.jmp(done)
+        b.label(short)
+        b.const(t, 0 if node.op == "&&" else 1)
+        b.label(done)
+        return t
+
+    def _call(self, node: ast.Call) -> int:
+        b = self.builder
+        name = node.name
+        if name in BUILTINS:
+            if len(node.args) not in BUILTINS[name]:
+                raise self._error(
+                    node, f"{name} takes {BUILTINS[name]} args, "
+                    f"got {len(node.args)}")
+            return self._builtin(node)
+        if name not in self.func_names:
+            raise self._error(node, f"unknown function {name!r}")
+        args = [self.expr(a) for a in node.args]
+        t = self.temps.acquire()
+        b.call(t, name, args)
+        for a in args:
+            self.temps.release(a)
+        return t
+
+    def _builtin(self, node: ast.Call) -> int:
+        b = self.builder
+        name = node.name
+        args = [self.expr(a) for a in node.args]
+        result = None
+        if name == "malloc":
+            result = self.temps.acquire()
+            b.malloc(result, args[0])
+        elif name == "free":
+            b.free(args[0])
+        elif name in _LOAD_SIZES:
+            addr = args[0]
+            if len(args) == 2:
+                addr = self.temps.acquire()
+                b.binop("+", addr, args[0], args[1])
+            result = self.temps.acquire()
+            b.load(result, addr, 0, _LOAD_SIZES[name])
+            if len(args) == 2:
+                self.temps.release(addr)
+        elif name in _STORE_SIZES:
+            if len(args) == 3:
+                addr = self.temps.acquire()
+                b.binop("+", addr, args[0], args[1])
+                b.store(addr, args[2], 0, _STORE_SIZES[name])
+                self.temps.release(addr)
+            else:
+                b.store(args[0], args[1], 0, _STORE_SIZES[name])
+        elif name == "memset":
+            b.memset(args[0], args[1], args[2])
+        elif name == "memcpy":
+            b.memcpy(args[0], args[1], args[2])
+        elif name == "input":
+            result = self.temps.acquire()
+            b.input(result)
+        elif name == "output":
+            b.output(args[0])
+        elif name == "assert":
+            b.assert_(args[0], f"{self.func.name}:{node.line}")
+        elif name == "halt":
+            b.halt()
+        elif name == "rand":
+            result = self.temps.acquire()
+            b.rand(result)
+        else:  # pragma: no cover
+            raise self._error(node, f"unhandled builtin {name}")
+        for a in args:
+            self.temps.release(a)
+        if result is None:
+            result = self.temps.acquire()
+            b.const(result, 0)
+        return result
+
+    # -- scoping -----------------------------------------------------------
+
+    def _lookup(self, name: str) -> Optional[int]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _declare(self, node: ast.Node, name: str) -> int:
+        if name in self.scopes[-1]:
+            raise self._error(node, f"redeclared local {name!r}")
+        if name in self.globals_map:
+            raise self._error(node, f"local {name!r} shadows a global")
+        self._decl_counter += 1
+        slot = self.builder.local(f"{name}@{self._decl_counter}")
+        self.scopes[-1][name] = slot
+        return slot
+
+    # -- statements ---------------------------------------------------------
+
+    def block(self, stmts: List[ast.Stmt], new_scope: bool = True) -> None:
+        if new_scope:
+            self.scopes.append({})
+        try:
+            for stmt in stmts:
+                self.statement(stmt)
+                self.temps.reset()
+        finally:
+            if new_scope:
+                self.scopes.pop()
+
+    def statement(self, node: ast.Stmt) -> None:
+        b = self.builder
+        if isinstance(node, ast.VarDecl):
+            if node.init is not None:
+                src = self.expr(node.init)
+                b.mov(self._declare(node, node.name), src)
+            else:
+                b.const(self._declare(node, node.name), 0)
+        elif isinstance(node, ast.Assign):
+            src = self.expr(node.value)
+            slot = self._lookup(node.name)
+            if slot is not None:
+                b.mov(slot, src)
+            elif node.name in self.globals_map:
+                b.gstore(self.globals_map[node.name], src)
+            else:
+                raise self._error(
+                    node, f"assignment to undeclared {node.name!r}")
+        elif isinstance(node, ast.If):
+            lab_else = self._label("else")
+            lab_end = self._label("endif")
+            cond = self.expr(node.cond)
+            b.jz(cond, lab_else)
+            self.temps.reset()
+            self.block(node.then)
+            b.jmp(lab_end)
+            b.label(lab_else)
+            self.block(node.otherwise)
+            b.label(lab_end)
+        elif isinstance(node, ast.While):
+            lab_cond = self._label("while")
+            lab_end = self._label("endwhile")
+            b.label(lab_cond)
+            cond = self.expr(node.cond)
+            b.jz(cond, lab_end)
+            self.temps.reset()
+            self._loop_stack.append((lab_cond, lab_end))
+            self.block(node.body)
+            self._loop_stack.pop()
+            b.jmp(lab_cond)
+            b.label(lab_end)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                b.ret(self.expr(node.value))
+            else:
+                b.ret()
+        elif isinstance(node, ast.Break):
+            if not self._loop_stack:
+                raise self._error(node, "break outside loop")
+            b.jmp(self._loop_stack[-1][1])
+        elif isinstance(node, ast.Continue):
+            if not self._loop_stack:
+                raise self._error(node, "continue outside loop")
+            b.jmp(self._loop_stack[-1][0])
+        elif isinstance(node, ast.ExprStmt):
+            self.expr(node.expr)
+        else:
+            raise self._error(node, f"cannot generate statement {node!r}")
+
+    def generate(self):
+        # main() gets a prologue applying nonzero global initializers
+        # (the Machine zeroes the global table at process start).
+        if self.func.name == "main" and self.global_inits:
+            t = self.temps.acquire()
+            for slot, value in self.global_inits:
+                self.builder.const(t, value)
+                self.builder.gstore(slot, t)
+            self.temps.release(t)
+        self.block(self.func.body)
+        return self.builder.build()
+
+
+def generate_module(module: ast.Module, name: str = "program") -> Program:
+    """Generate a linked :class:`Program` from a parsed module."""
+    pb = ProgramBuilder(name)
+    globals_map: Dict[str, int] = {}
+    for g in module.globals:
+        if g.name in globals_map:
+            raise CompileError(f"redeclared global {g.name!r}", g.line)
+        globals_map[g.name] = pb.global_slot(g.name)
+    func_names = set()
+    for fn in module.functions:
+        if fn.name in func_names:
+            raise CompileError(f"redeclared function {fn.name!r}", fn.line)
+        if fn.name in BUILTINS:
+            raise CompileError(
+                f"function {fn.name!r} collides with a builtin", fn.line)
+        func_names.add(fn.name)
+    inits = [(globals_map[g.name], g.init & ((1 << 64) - 1))
+             for g in module.globals if g.init]
+    for fn in module.functions:
+        pb.add_function(FunctionCodegen(
+            module, fn, globals_map, func_names, inits).generate())
+    return pb.build()

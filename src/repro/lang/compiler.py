@@ -1,0 +1,18 @@
+"""Compiler driver: MiniC source text -> linked VM Program."""
+
+from __future__ import annotations
+
+from repro.lang.codegen import generate_module
+from repro.lang.parser import Parser
+from repro.vm.program import Program
+
+
+def compile_program(source: str, name: str = "program") -> Program:
+    """Compile MiniC source to a ready-to-run :class:`Program`.
+
+    Raises :class:`repro.errors.CompileError` with line information on
+    malformed source, and :class:`repro.errors.ProgramError` if codegen
+    produced an inconsistent program (which would be a compiler bug).
+    """
+    module = Parser(source).parse_module()
+    return generate_module(module, name)

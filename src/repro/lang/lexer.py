@@ -1,0 +1,127 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import CompileError
+
+KEYWORDS = frozenset({
+    "int", "if", "else", "while", "return", "break", "continue",
+})
+
+#: Multi-character punctuation, longest first so maximal munch works.
+PUNCT2 = ("==", "!=", "<=", ">=", "&&", "||", "<<", ">>")
+PUNCT1 = "+-*/%&|^!<>=(){},;~"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # "num" | "ident" | "kw" | "punct" | "eof"
+    value: object   # int for num, str otherwise
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
+
+
+class Lexer:
+    """Turns MiniC source text into a token list."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, message: str) -> CompileError:
+        return CompileError(message, self.line, self.col)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise CompileError("unterminated block comment",
+                                           start_line, start_col)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> List[Token]:
+        return list(self._iter_tokens())
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            line, col = self.line, self.col
+            ch = self._peek()
+            if not ch:
+                yield Token("eof", "", line, col)
+                return
+            if ch.isdigit():
+                yield self._number(line, col)
+            elif ch.isalpha() or ch == "_":
+                yield self._ident(line, col)
+            else:
+                two = ch + self._peek(1)
+                if two in PUNCT2:
+                    self._advance(2)
+                    yield Token("punct", two, line, col)
+                elif ch in PUNCT1:
+                    self._advance()
+                    yield Token("punct", ch, line, col)
+                else:
+                    raise self._error(f"unexpected character {ch!r}")
+
+    def _number(self, line: int, col: int) -> Token:
+        start = self.pos
+        # NB: membership tests must exclude the empty end-of-source
+        # sentinel ("" in "xX" is True in Python).
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            hexdigits = "0123456789abcdef"
+            nxt = self._peek()
+            if not nxt or nxt.lower() not in hexdigits:
+                raise self._error("malformed hex literal")
+            while self._peek() and self._peek().lower() in hexdigits:
+                self._advance()
+            return Token("num", int(self.source[start:self.pos], 16),
+                         line, col)
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek().isalpha() or self._peek() == "_":
+            raise self._error("identifier cannot start with a digit")
+        return Token("num", int(self.source[start:self.pos]), line, col)
+
+    def _ident(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = "kw" if text in KEYWORDS else "ident"
+        return Token(kind, text, line, col)

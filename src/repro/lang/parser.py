@@ -1,0 +1,236 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.lexer import Lexer, Token
+
+#: Binary operator precedence, loosest first (&&/|| are handled
+#: separately for short-circuit evaluation).
+PRECEDENCE = [
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, source: str):
+        self._tokens = Lexer(source).tokens()
+        self._pos = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _error(self, message: str) -> CompileError:
+        tok = self._cur
+        return CompileError(message, tok.line, tok.col)
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        tok = self._cur
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def _accept(self, kind: str, value: Optional[str] = None) \
+            -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self._accept(kind, value)
+        if tok is None:
+            want = value if value is not None else kind
+            raise self._error(
+                f"expected {want!r}, found {self._cur.value!r}")
+        return tok
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module(line=1)
+        while not self._check("eof"):
+            self._expect("kw", "int")
+            name_tok = self._expect("ident")
+            if self._check("punct", "("):
+                module.functions.append(self._function(name_tok))
+            else:
+                module.globals.append(self._global(name_tok))
+        return module
+
+    def _global(self, name_tok: Token) -> ast.GlobalDecl:
+        init = 0
+        if self._accept("punct", "="):
+            sign = -1 if self._accept("punct", "-") else 1
+            init = sign * self._expect("num").value
+        self._expect("punct", ";")
+        return ast.GlobalDecl(line=name_tok.line, name=name_tok.value,
+                              init=init)
+
+    def _function(self, name_tok: Token) -> ast.FuncDecl:
+        self._expect("punct", "(")
+        params: List[str] = []
+        if not self._check("punct", ")"):
+            while True:
+                self._expect("kw", "int")
+                params.append(self._expect("ident").value)
+                if not self._accept("punct", ","):
+                    break
+        self._expect("punct", ")")
+        body = self._block()
+        return ast.FuncDecl(line=name_tok.line, name=name_tok.value,
+                            params=params, body=body)
+
+    # -- statements ----------------------------------------------------------
+
+    def _block(self) -> List[ast.Stmt]:
+        self._expect("punct", "{")
+        stmts: List[ast.Stmt] = []
+        while not self._accept("punct", "}"):
+            if self._check("eof"):
+                raise self._error("unterminated block")
+            stmts.append(self._statement())
+        return stmts
+
+    def _statement(self) -> ast.Stmt:
+        tok = self._cur
+        if self._accept("kw", "int"):
+            name = self._expect("ident").value
+            init = None
+            if self._accept("punct", "="):
+                init = self._expression()
+            self._expect("punct", ";")
+            return ast.VarDecl(line=tok.line, name=name, init=init)
+        if self._accept("kw", "if"):
+            return self._if(tok)
+        if self._accept("kw", "while"):
+            self._expect("punct", "(")
+            cond = self._expression()
+            self._expect("punct", ")")
+            body = self._block()
+            return ast.While(line=tok.line, cond=cond, body=body)
+        if self._accept("kw", "return"):
+            value = None
+            if not self._check("punct", ";"):
+                value = self._expression()
+            self._expect("punct", ";")
+            return ast.Return(line=tok.line, value=value)
+        if self._accept("kw", "break"):
+            self._expect("punct", ";")
+            return ast.Break(line=tok.line)
+        if self._accept("kw", "continue"):
+            self._expect("punct", ";")
+            return ast.Continue(line=tok.line)
+        # assignment or expression statement
+        if (self._check("ident")
+                and self._tokens[self._pos + 1].kind == "punct"
+                and self._tokens[self._pos + 1].value == "="):
+            name = self._advance().value
+            self._advance()  # '='
+            value = self._expression()
+            self._expect("punct", ";")
+            return ast.Assign(line=tok.line, name=name, value=value)
+        expr = self._expression()
+        self._expect("punct", ";")
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def _if(self, tok: Token) -> ast.If:
+        self._expect("punct", "(")
+        cond = self._expression()
+        self._expect("punct", ")")
+        then = self._block()
+        otherwise: List[ast.Stmt] = []
+        if self._accept("kw", "else"):
+            if self._check("kw", "if"):
+                nested_tok = self._advance()
+                otherwise = [self._if(nested_tok)]
+            else:
+                otherwise = self._block()
+        return ast.If(line=tok.line, cond=cond, then=then,
+                      otherwise=otherwise)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._check("punct", "||"):
+            tok = self._advance()
+            right = self._and_expr()
+            left = ast.ShortCircuit(line=tok.line, op="||", left=left,
+                                    right=right)
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._binary(0)
+        while self._check("punct", "&&"):
+            tok = self._advance()
+            right = self._binary(0)
+            left = ast.ShortCircuit(line=tok.line, op="&&", left=left,
+                                    right=right)
+        return left
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(PRECEDENCE):
+            return self._unary()
+        ops = PRECEDENCE[level]
+        left = self._binary(level + 1)
+        while self._cur.kind == "punct" and self._cur.value in ops:
+            tok = self._advance()
+            right = self._binary(level + 1)
+            left = ast.BinaryOp(line=tok.line, op=tok.value, left=left,
+                                right=right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        tok = self._cur
+        if self._accept("punct", "!"):
+            return ast.UnaryOp(line=tok.line, op="!",
+                               operand=self._unary())
+        if self._accept("punct", "-"):
+            return ast.UnaryOp(line=tok.line, op="-",
+                               operand=self._unary())
+        if self._accept("punct", "~"):
+            return ast.UnaryOp(line=tok.line, op="~",
+                               operand=self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self._cur
+        if self._accept("punct", "("):
+            expr = self._expression()
+            self._expect("punct", ")")
+            return expr
+        if self._check("num"):
+            return ast.NumLit(line=tok.line, value=self._advance().value)
+        if self._check("ident"):
+            name = self._advance().value
+            if self._accept("punct", "("):
+                args: List[ast.Expr] = []
+                if not self._check("punct", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._accept("punct", ","):
+                            break
+                self._expect("punct", ")")
+                return ast.Call(line=tok.line, name=name, args=args)
+            return ast.VarRef(line=tok.line, name=name)
+        raise self._error(f"unexpected token {tok.value!r} in expression")

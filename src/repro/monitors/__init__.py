@@ -1,0 +1,31 @@
+"""Error monitors.
+
+The paper's error monitors are the cheap detectors that notice a
+failure and hand control to the diagnostic engine: assertion failures
+and kernel-raised exceptions in the base system, with room for plugging
+in heavier detectors (AccMon-style) at deployment time.
+
+Here the VM already catches :class:`~repro.errors.SimulatedFault` and
+reports it in the :class:`~repro.vm.machine.RunResult`; a monitor's job
+is to turn run results into :class:`FailureEvent` objects (or decide a
+result is benign).  The monitor set is pluggable to mirror the paper's
+architecture -- :class:`repro.core.runtime.FirstAidRuntime` consults
+every registered monitor after each run segment.
+"""
+
+from repro.monitors.base import ErrorMonitor, FailureEvent
+from repro.monitors.standard import (
+    AssertionMonitor,
+    ExceptionMonitor,
+    HeapCorruptionMonitor,
+    default_monitors,
+)
+
+__all__ = [
+    "ErrorMonitor",
+    "FailureEvent",
+    "AssertionMonitor",
+    "ExceptionMonitor",
+    "HeapCorruptionMonitor",
+    "default_monitors",
+]

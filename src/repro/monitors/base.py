@@ -1,0 +1,39 @@
+"""Monitor interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import SimulatedFault
+from repro.process import Process
+from repro.vm.machine import RunResult
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A detected failure, as handed to the diagnostic engine."""
+
+    fault: SimulatedFault
+    instr_count: int          # position of the failure in the execution
+    time_ns: int              # simulated time of detection
+    monitor: str              # which monitor caught it
+
+    @property
+    def instr_id(self) -> Optional[Tuple[str, int]]:
+        return self.fault.instr_id
+
+    def describe(self) -> str:
+        return (f"{self.monitor}: {self.fault.describe()} "
+                f"@instr={self.instr_count}")
+
+
+class ErrorMonitor:
+    """Inspects a run result; returns a FailureEvent if it detects a
+    failure this monitor is responsible for, else None."""
+
+    name = "monitor"
+
+    def check(self, result: RunResult,
+              process: Process) -> Optional[FailureEvent]:
+        raise NotImplementedError

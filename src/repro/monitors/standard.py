@@ -1,0 +1,62 @@
+"""The standard monitor set (assertions + exceptions), matching the
+paper's base implementation."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import (
+    AssertionFailure,
+    DivisionByZeroFault,
+    HeapCorruptionFault,
+    SegmentationFault,
+)
+from repro.monitors.base import ErrorMonitor, FailureEvent
+from repro.process import Process
+from repro.vm.machine import RunReason, RunResult
+
+
+class _FaultTypeMonitor(ErrorMonitor):
+    """Catches a specific family of simulated faults."""
+
+    fault_types: tuple = ()
+
+    def check(self, result: RunResult,
+              process: Process) -> Optional[FailureEvent]:
+        if result.reason is not RunReason.FAULT:
+            return None
+        if not isinstance(result.fault, self.fault_types):
+            return None
+        return FailureEvent(
+            fault=result.fault,
+            instr_count=process.instr_count,
+            time_ns=process.clock.now_ns,
+            monitor=self.name,
+        )
+
+
+class ExceptionMonitor(_FaultTypeMonitor):
+    """Kernel-exception analogue: segfaults, division errors."""
+
+    name = "exception"
+    fault_types = (SegmentationFault, DivisionByZeroFault)
+
+
+class AssertionMonitor(_FaultTypeMonitor):
+    """Catches failed program assertions."""
+
+    name = "assertion"
+    fault_types = (AssertionFailure,)
+
+
+class HeapCorruptionMonitor(_FaultTypeMonitor):
+    """Catches allocator aborts (glibc-style 'double free or
+    corruption')."""
+
+    name = "heap-corruption"
+    fault_types = (HeapCorruptionFault,)
+
+
+def default_monitors() -> List[ErrorMonitor]:
+    return [ExceptionMonitor(), AssertionMonitor(),
+            HeapCorruptionMonitor()]

@@ -1,0 +1,170 @@
+"""A simulated process: program + heap + allocator extension + machine.
+
+Everything First-Aid operates on is a :class:`Process`.  It bundles the
+substrate pieces, provides whole-process snapshot/restore (what a
+checkpoint contains), and can be cloned so the validation engine can
+work on "a snapshot of the program ... in parallel" (paper Section 2)
+without disturbing the recovering process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import CheckpointError
+from repro.heap.allocator import LeaAllocator
+from repro.heap.base import DEFAULT_LIMIT, Memory
+from repro.heap.extension import AllocatorExtension, ChangePolicy, ExtensionMode
+from repro.heap.quarantine import DEFAULT_THRESHOLD
+from repro.heap.random_alloc import RandomizedLeaAllocator
+from repro.util.rng import DeterministicRNG
+from repro.util.simclock import CostModel, SimClock
+from repro.vm.io import OutputLog, ReplayableInput
+from repro.vm.machine import Machine, RunResult
+from repro.vm.program import Program
+from repro.vm.state import MachineSnapshot
+
+
+class ProcessSnapshot:
+    """Full-state snapshot of a process (one checkpoint's payload)."""
+
+    __slots__ = ("machine", "memory", "allocator", "extension",
+                 "instr_count", "randomized")
+
+    def __init__(self, machine: MachineSnapshot, memory: tuple,
+                 allocator: tuple, extension: tuple, randomized: bool):
+        self.machine = machine
+        self.memory = memory
+        self.allocator = allocator
+        self.extension = extension
+        self.instr_count = machine.instr_count
+        self.randomized = randomized
+
+
+class Process:
+    """One simulated process under First-Aid's control."""
+
+    def __init__(self, program: Program,
+                 input_tokens: Optional[Iterable[int]] = None,
+                 input_stream: Optional[ReplayableInput] = None,
+                 mode: ExtensionMode = ExtensionMode.NORMAL,
+                 policy: Optional[ChangePolicy] = None,
+                 clock: Optional[SimClock] = None,
+                 costs: Optional[CostModel] = None,
+                 heap_limit: int = DEFAULT_LIMIT,
+                 quarantine_threshold: int = DEFAULT_THRESHOLD,
+                 entropy_seed: int = 1,
+                 output: Optional[OutputLog] = None):
+        self.program = program
+        self.costs = costs or CostModel()
+        self.clock = clock or SimClock()
+        self.mem = Memory(limit=heap_limit)
+        self.allocator: LeaAllocator = LeaAllocator(self.mem)
+        self.extension = AllocatorExtension(
+            self.mem, self.allocator, mode, policy, self.clock, self.costs,
+            quarantine_threshold)
+        if input_stream is not None:
+            self.input = input_stream
+        else:
+            self.input = ReplayableInput(input_tokens or ())
+        self.output = output if output is not None else OutputLog()
+        self.machine = Machine(program, self.mem, self.extension,
+                               self.input, self.output, self.clock,
+                               self.costs, entropy_seed)
+
+    # ------------------------------------------------------------------
+    # convenience passthroughs
+    # ------------------------------------------------------------------
+
+    @property
+    def instr_count(self) -> int:
+        return self.machine.instr_count
+
+    def run(self, stop_at: Optional[int] = None,
+            max_steps: Optional[int] = None) -> RunResult:
+        return self.machine.run(stop_at=stop_at, max_steps=max_steps)
+
+    def set_mode(self, mode: ExtensionMode,
+                 policy: Optional[ChangePolicy] = None) -> None:
+        self.extension.mode = mode
+        if policy is not None:
+            self.extension.policy = policy
+
+    def set_costs(self, costs: CostModel) -> None:
+        """Swap the cost model for all components (e.g. replay costs
+        during diagnostic re-execution)."""
+        self.costs = costs
+        self.machine.costs = costs
+        self.extension.costs = costs
+
+    def reseed_entropy(self, seed: int) -> None:
+        """Fresh entropy for RAND -- each execution *attempt* gets its
+        own environment nondeterminism, which is never checkpointed."""
+        self.machine.entropy = DeterministicRNG(seed)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore / clone
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ProcessSnapshot:
+        return ProcessSnapshot(
+            machine=self.machine.snapshot(),
+            memory=self.mem.snapshot(),
+            allocator=self.allocator.snapshot(),
+            extension=self.extension.snapshot(),
+            randomized=isinstance(self.allocator, RandomizedLeaAllocator),
+        )
+
+    def restore(self, snap: ProcessSnapshot) -> None:
+        self.mem.restore(snap.memory)
+        if snap.randomized:
+            if not isinstance(self.allocator, RandomizedLeaAllocator):
+                raise CheckpointError(
+                    "snapshot was taken under a randomized allocator")
+            self.allocator.restore(snap.allocator)
+        elif isinstance(self.allocator, RandomizedLeaAllocator):
+            # Plain snapshot into a randomized process: adopt the
+            # snapshot's allocator structures, keep the RNG stream.
+            self.allocator.restore((snap.allocator,
+                                    self.allocator.rng.getstate()))
+        else:
+            self.allocator.restore(snap.allocator)
+        self.extension.restore(snap.extension)
+        self.machine.restore(snap.machine)
+
+    def use_randomized_allocator(self, seed: int) -> None:
+        """Replace the allocator with a randomized one carrying over the
+        current allocator state (validation mode)."""
+        base_state = (self.allocator.snapshot()
+                      if not isinstance(self.allocator,
+                                        RandomizedLeaAllocator)
+                      else self.allocator.snapshot()[0])
+        randomized = RandomizedLeaAllocator(self.mem, seed)
+        randomized.restore((base_state, randomized.rng.getstate()))
+        self.allocator = randomized
+        self.extension.allocator = randomized
+
+    def clone(self, snap: Optional[ProcessSnapshot] = None) -> "Process":
+        """An independent process with the same program and a copy of
+        the input journal, restored to ``snap`` (or to this process's
+        current state).  Used by the validation engine."""
+        snap = snap or self.snapshot()
+        journal = self.input.journal_slice(0)
+        clone = Process(self.program, input_tokens=journal,
+                        mode=self.extension.mode,
+                        policy=self.extension.policy,
+                        costs=self.costs,
+                        heap_limit=self.mem.limit,
+                        quarantine_threshold=self.extension
+                        .quarantine.threshold_bytes)
+        if snap.randomized:
+            clone.use_randomized_allocator(seed=1)
+        # Materialize the journal in the clone's input so the cursor in
+        # the snapshot points at recorded tokens, and carry over the
+        # output history up to the snapshot point.
+        while clone.input.journal_length < len(journal):
+            clone.input.next()
+        clone.output.preload(
+            self.output.entries()[:snap.machine.output_length])
+        clone.restore(snap)
+        return clone

@@ -1,0 +1,16 @@
+"""Shared utilities: call-site signatures, event logging, deterministic
+randomness, and the simulated clock / cost model."""
+
+from repro.util.callsite import CallSite
+from repro.util.events import Event, EventLog
+from repro.util.rng import DeterministicRNG
+from repro.util.simclock import CostModel, SimClock
+
+__all__ = [
+    "CallSite",
+    "Event",
+    "EventLog",
+    "DeterministicRNG",
+    "CostModel",
+    "SimClock",
+]

@@ -1,0 +1,67 @@
+"""Structured event log.
+
+Every First-Aid component appends :class:`Event` records to a shared
+:class:`EventLog`: checkpoints taken, failures caught, rollbacks,
+diagnosis iterations, patches generated/applied/validated.  The log is
+both the diagnosis log shipped in bug reports (Figure 5, item 2) and the
+primary observability surface for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single structured log record.
+
+    ``time_ns`` is simulated time (see :mod:`repro.util.simclock`),
+    ``kind`` is a short machine-readable tag such as ``"checkpoint"`` or
+    ``"diagnosis.iteration"``, and ``data`` holds kind-specific fields.
+    """
+
+    time_ns: int
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in sorted(self.data.items()))
+        return f"[{self.time_ns / 1e9:10.6f}s] {self.kind}: {details}"
+
+
+class EventLog:
+    """Append-only event log with simple querying."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def emit(self, time_ns: int, kind: str, **data: Any) -> Event:
+        event = Event(time_ns=time_ns, kind=kind, data=data)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        """All events whose kind equals or is a dotted prefix of ``kind``.
+
+        ``of_kind("diagnosis")`` matches ``"diagnosis.iteration"`` too.
+        """
+        prefix = kind + "."
+        return [e for e in self._events
+                if e.kind == kind or e.kind.startswith(prefix)]
+
+    def last(self, kind: Optional[str] = None) -> Optional[Event]:
+        if kind is None:
+            return self._events[-1] if self._events else None
+        matches = self.of_kind(kind)
+        return matches[-1] if matches else None
+
+    def render(self) -> str:
+        return "\n".join(e.render() for e in self._events)

@@ -1,0 +1,69 @@
+"""Deterministic random number generation.
+
+Determinism is load-bearing in this system: diagnosis re-executes the
+program from checkpoints and expects identical behaviour, so any
+randomness visible to the simulated program must be part of the
+checkpointed state.  :class:`DeterministicRNG` is a small, snapshottable
+xorshift generator used for
+
+* the randomized allocator in validation mode (seeded differently per
+  validation iteration, per the paper's Section 5), and
+* synthetic workload generation.
+
+It deliberately avoids :mod:`random`'s global state.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class DeterministicRNG:
+    """xorshift64* generator with explicit, copyable state."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15):
+        seed &= _MASK64
+        # A zero state would lock the generator at zero forever.
+        self._state = seed if seed else 0x106689D45497FDB5
+
+    def next_u64(self) -> int:
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] inclusive."""
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        span = hi - lo + 1
+        return lo + self.next_u64() % span
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def choice(self, seq):
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.randint(0, len(seq) - 1)]
+
+    def shuffle(self, seq: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.randint(0, i)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def getstate(self) -> int:
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        self._state = state & _MASK64
+
+    def fork(self, salt: int) -> "DeterministicRNG":
+        """Derive an independent stream, e.g. one per validation run."""
+        return DeterministicRNG(self._state ^ (salt * 0xBF58476D1CE4E5B9))

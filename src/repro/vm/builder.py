@@ -1,0 +1,201 @@
+"""Assembler-level builders for VM programs.
+
+:class:`FunctionBuilder` emits instructions with symbolic labels and
+named locals; :class:`ProgramBuilder` collects functions and globals.
+The MiniC code generator targets these builders, and tests use them to
+construct precise scenarios (e.g. a program whose one STORE overflows a
+specific object).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ProgramError
+from repro.vm import isa
+from repro.vm.program import Function, Program
+
+SlotRef = Union[int, str]
+
+
+class FunctionBuilder:
+    """Builds one function; locals may be referred to by name."""
+
+    def __init__(self, name: str, params: Sequence[str] = ()):
+        self.name = name
+        self._locals: Dict[str, int] = {}
+        self._code: List[list] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[tuple] = []  # (pc, operand_index, label)
+        for p in params:
+            self.local(p)
+        self.n_params = len(params)
+
+    # -- slots ----------------------------------------------------------
+
+    def local(self, name: str) -> int:
+        """Declare (or look up) a named local; returns its slot index."""
+        if name not in self._locals:
+            self._locals[name] = len(self._locals)
+        return self._locals[name]
+
+    def slot(self, ref: SlotRef) -> int:
+        if isinstance(ref, int):
+            return ref
+        return self.local(ref)
+
+    def temp(self) -> int:
+        """A fresh anonymous slot."""
+        return self.local(f"$t{len(self._locals)}")
+
+    # -- labels -----------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise ProgramError(f"{self.name}: duplicate label {name}")
+        self._labels[name] = len(self._code)
+
+    def _target(self, pc: int, operand_index: int, label: str) -> int:
+        """Record a fixup; returns a placeholder."""
+        self._fixups.append((pc, operand_index, label))
+        return -1
+
+    # -- emission ---------------------------------------------------------
+
+    def _emit(self, op: int, a=None, b=None, c=None, d=None) -> int:
+        pc = len(self._code)
+        self._code.append([op, a, b, c, d])
+        return pc
+
+    def const(self, dst: SlotRef, imm: int) -> None:
+        self._emit(isa.CONST, self.slot(dst), imm)
+
+    def mov(self, dst: SlotRef, src: SlotRef) -> None:
+        self._emit(isa.MOV, self.slot(dst), self.slot(src))
+
+    def binop(self, op: str, dst: SlotRef, a: SlotRef, b: SlotRef) -> None:
+        if op not in isa.BINOPS:
+            raise ProgramError(f"unknown binop {op!r}")
+        self._emit(isa.BINOPS[op], self.slot(dst), self.slot(a),
+                   self.slot(b))
+
+    def addi(self, dst: SlotRef, src: SlotRef, imm: int) -> None:
+        self._emit(isa.ADDI, self.slot(dst), self.slot(src), imm)
+
+    def logical_not(self, dst: SlotRef, src: SlotRef) -> None:
+        self._emit(isa.NOT, self.slot(dst), self.slot(src))
+
+    def neg(self, dst: SlotRef, src: SlotRef) -> None:
+        self._emit(isa.NEG, self.slot(dst), self.slot(src))
+
+    def jmp(self, label: str) -> None:
+        pc = self._emit(isa.JMP, None)
+        self._code[pc][1] = self._target(pc, 1, label)
+
+    def jz(self, src: SlotRef, label: str) -> None:
+        pc = self._emit(isa.JZ, self.slot(src), None)
+        self._code[pc][2] = self._target(pc, 2, label)
+
+    def jnz(self, src: SlotRef, label: str) -> None:
+        pc = self._emit(isa.JNZ, self.slot(src), None)
+        self._code[pc][2] = self._target(pc, 2, label)
+
+    def call(self, dst: Optional[SlotRef], func: str,
+             args: Sequence[SlotRef] = ()) -> None:
+        self._emit(isa.CALL,
+                   None if dst is None else self.slot(dst),
+                   func, tuple(self.slot(a) for a in args))
+
+    def ret(self, src: Optional[SlotRef] = None) -> None:
+        self._emit(isa.RET, None if src is None else self.slot(src))
+
+    def malloc(self, dst: SlotRef, size: SlotRef) -> None:
+        self._emit(isa.MALLOC, self.slot(dst), self.slot(size))
+
+    def free(self, addr: SlotRef) -> None:
+        self._emit(isa.FREE, self.slot(addr))
+
+    def load(self, dst: SlotRef, addr: SlotRef, offset: int = 0,
+             size: int = 8) -> None:
+        self._emit(isa.LOAD, self.slot(dst), self.slot(addr), offset, size)
+
+    def store(self, addr: SlotRef, val: SlotRef, offset: int = 0,
+              size: int = 8) -> None:
+        self._emit(isa.STORE, self.slot(addr), offset, size, self.slot(val))
+
+    def memset(self, addr: SlotRef, val: SlotRef, length: SlotRef) -> None:
+        self._emit(isa.MEMSET, self.slot(addr), self.slot(val),
+                   self.slot(length))
+
+    def memcpy(self, dst: SlotRef, src: SlotRef, length: SlotRef) -> None:
+        self._emit(isa.MEMCPY, self.slot(dst), self.slot(src),
+                   self.slot(length))
+
+    def input(self, dst: SlotRef) -> None:
+        self._emit(isa.IN, self.slot(dst))
+
+    def output(self, src: SlotRef) -> None:
+        self._emit(isa.OUT, self.slot(src))
+
+    def assert_(self, src: SlotRef, msg: str = "") -> None:
+        self._emit(isa.ASSERT, self.slot(src), msg)
+
+    def halt(self) -> None:
+        self._emit(isa.HALT)
+
+    def gload(self, dst: SlotRef, g: int) -> None:
+        self._emit(isa.GLOAD, self.slot(dst), g)
+
+    def gstore(self, g: int, src: SlotRef) -> None:
+        self._emit(isa.GSTORE, g, self.slot(src))
+
+    def rand(self, dst: SlotRef) -> None:
+        self._emit(isa.RAND, self.slot(dst))
+
+    # -- finish -----------------------------------------------------------
+
+    def build(self) -> Function:
+        code = [list(instr) for instr in self._code]
+        label_at_end = any(pos == len(code)
+                           for pos in self._labels.values())
+        # Implicit return: for fall-off-the-end functions, and as the
+        # landing pad for labels that point one past the last
+        # instruction (e.g. the exit label of a trailing loop).
+        if (not code or label_at_end
+                or code[-1][0] not in (isa.RET, isa.HALT, isa.JMP)):
+            code.append([isa.RET, None, None, None, None])
+        for pc, idx, label in self._fixups:
+            if label not in self._labels:
+                raise ProgramError(
+                    f"{self.name}: undefined label {label!r}")
+            code[pc][idx] = self._labels[label]
+        return Function(self.name, self.n_params, len(self._locals),
+                        [tuple(i) for i in code])
+
+
+class ProgramBuilder:
+    """Collects functions and a global-slot table into a Program."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._functions: List[Function] = []
+        self._globals: Dict[str, int] = {}
+
+    def global_slot(self, name: str) -> int:
+        if name not in self._globals:
+            self._globals[name] = len(self._globals)
+        return self._globals[name]
+
+    def function(self, name: str, params: Sequence[str] = ()) \
+            -> FunctionBuilder:
+        return FunctionBuilder(name, params)
+
+    def add(self, fb: FunctionBuilder) -> None:
+        self._functions.append(fb.build())
+
+    def add_function(self, fn: Function) -> None:
+        self._functions.append(fn)
+
+    def build(self) -> Program:
+        return Program(self._functions, n_globals=max(len(self._globals), 1),
+                       name=self.name)

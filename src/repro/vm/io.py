@@ -1,0 +1,113 @@
+"""Program I/O: the recorded input stream and the output log.
+
+:class:`ReplayableInput` is the analogue of the paper's network proxy
+(Section 3): during normal execution it pulls tokens from a live source
+and journals every one; after a rollback the journal replays the exact
+same tokens from the checkpointed cursor, so re-execution sees a
+byte-identical request stream.
+
+:class:`OutputLog` timestamps every OUT value with simulated time; the
+throughput experiment (Figure 4) bins these timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+class ReplayableInput:
+    """Journal-backed input stream with a rewindable cursor."""
+
+    def __init__(self, source: Iterable[int] = ()):
+        self._source: Iterator[int] = iter(source)
+        self._journal: List[int] = []
+        self._cursor = 0
+        self._exhausted = False
+
+    def next(self) -> Optional[int]:
+        """The next token, or None when the live source is exhausted."""
+        if self._cursor < len(self._journal):
+            token = self._journal[self._cursor]
+            self._cursor += 1
+            return token
+        if self._exhausted:
+            return None
+        try:
+            token = next(self._source)
+        except StopIteration:
+            self._exhausted = True
+            return None
+        self._journal.append(int(token))
+        self._cursor += 1
+        return token
+
+    def feed(self, tokens: Iterable[int]) -> None:
+        """Append more live input after the current source (used by
+        interactive experiments that drive a server in phases)."""
+        existing = self._source
+        fresh = iter([int(t) for t in tokens])
+
+        def chained():
+            for t in existing:
+                yield t
+            for t in fresh:
+                yield t
+
+        self._source = chained()
+        self._exhausted = False
+
+    @property
+    def cursor(self) -> int:
+        return self._cursor
+
+    @property
+    def journal_length(self) -> int:
+        return len(self._journal)
+
+    def journal_slice(self, start: int, end: Optional[int] = None) \
+            -> List[int]:
+        return self._journal[start:end]
+
+    def snapshot(self) -> int:
+        return self._cursor
+
+    def restore(self, cursor: int) -> None:
+        if cursor > len(self._journal):
+            raise ValueError("cursor beyond journal")
+        self._cursor = cursor
+
+
+class OutputLog:
+    """Timestamped append-only output."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[int, int]] = []  # (time_ns, value)
+
+    def emit(self, time_ns: int, value: int) -> None:
+        self._entries.append((time_ns, value))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def values(self) -> List[int]:
+        return [v for _, v in self._entries]
+
+    def entries(self) -> List[Tuple[int, int]]:
+        return list(self._entries)
+
+    def since(self, index: int) -> List[Tuple[int, int]]:
+        return self._entries[index:]
+
+    def snapshot(self) -> int:
+        return len(self._entries)
+
+    def restore(self, length: int) -> None:
+        del self._entries[length:]
+
+    def preload(self, entries: List[Tuple[int, int]]) -> None:
+        """Seed a fresh log with another log's history (used when
+        cloning a process so the clone's output matches the original's
+        up to the snapshot point)."""
+        if self._entries:
+            raise ValueError("preload requires an empty log")
+        self._entries = [(int(t), int(v)) for t, v in entries]

@@ -1,0 +1,316 @@
+"""The bytecode interpreter.
+
+Design constraints, in order:
+
+1. **Determinism.**  Given the same snapshot and the same input journal,
+   execution is bit-identical.  The only sanctioned nondeterminism is
+   the RAND opcode, whose entropy source is deliberately *not* part of
+   snapshots (it models timing/environment nondeterminism; the runtime
+   reseeds it per execution attempt).
+2. **Faithful memory physics.**  Every LOAD/STORE goes through the
+   simulated heap; MALLOC/FREE go through the allocator extension with
+   a multi-level call-site; faults carry the faulting instruction.
+3. **Interpreter speed.**  The dispatch loop avoids attribute lookups
+   where it matters; experiments execute tens of millions of
+   instructions.
+
+The machine never raises :class:`SimulatedFault` out of :meth:`run`;
+it catches the fault, freezes, and returns a :class:`RunResult` --
+that catch *is* the cheapest error monitor the paper describes
+(exceptions raised from the kernel).  Host errors still propagate.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional
+
+from repro.errors import (
+    AssertionFailure,
+    DivisionByZeroFault,
+    SimulatedFault,
+)
+from repro.heap.base import Memory
+from repro.heap.extension import AllocatorExtension, ExtensionMode
+from repro.util.callsite import CallSite
+from repro.util.rng import DeterministicRNG
+from repro.util.simclock import CostModel, SimClock
+from repro.vm import isa
+from repro.vm.io import OutputLog, ReplayableInput
+from repro.vm.program import Program
+from repro.vm.state import Frame, MachineSnapshot
+
+_MASK64 = (1 << 64) - 1
+
+
+class RunReason(Enum):
+    HALT = "halt"                  # program executed HALT or main returned
+    STOP = "stop"                  # reached the requested instruction count
+    INPUT_EXHAUSTED = "input"      # IN found no more live input
+    FAULT = "fault"                # a SimulatedFault occurred
+
+
+class RunResult:
+    __slots__ = ("reason", "fault")
+
+    def __init__(self, reason: RunReason,
+                 fault: Optional[SimulatedFault] = None):
+        self.reason = reason
+        self.fault = fault
+
+    def __repr__(self) -> str:
+        if self.fault is not None:
+            return f"RunResult({self.reason.value}, {self.fault.describe()})"
+        return f"RunResult({self.reason.value})"
+
+
+class Machine:
+    """One simulated process."""
+
+    def __init__(self, program: Program, mem: Memory,
+                 extension: AllocatorExtension,
+                 input_stream: Optional[ReplayableInput] = None,
+                 output: Optional[OutputLog] = None,
+                 clock: Optional[SimClock] = None,
+                 costs: Optional[CostModel] = None,
+                 entropy_seed: int = 1):
+        self.program = program
+        self.mem = mem
+        self.extension = extension
+        self.input = (input_stream if input_stream is not None
+                      else ReplayableInput())
+        self.output = output if output is not None else OutputLog()
+        self.clock = clock or SimClock()
+        self.costs = costs or CostModel()
+        self.entropy = DeterministicRNG(entropy_seed)
+        self.trace_accesses = False
+
+        entry = program.entry
+        self.frames: List[Frame] = [
+            Frame(entry, 0, [0] * entry.n_locals, None)]
+        self.globals: List[int] = [0] * program.n_globals
+        self.instr_count = 0
+        self.halted = False
+        self.fault: Optional[SimulatedFault] = None
+
+    # ------------------------------------------------------------------
+    # call-site capture
+    # ------------------------------------------------------------------
+
+    def current_callsite(self, pc: int) -> CallSite:
+        """Multi-level call-site for the instruction at ``pc`` in the
+        innermost frame: (this function, pc) plus up to two caller
+        return addresses."""
+        frames = self.frames
+        addrs = [(frames[-1].func.name, pc)]
+        for frame in frames[-2::-1]:
+            addrs.append((frame.func.name, frame.pc))
+            if len(addrs) == CallSite.DEPTH:
+                break
+        return CallSite(addrs)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, stop_at: Optional[int] = None,
+            max_steps: Optional[int] = None) -> RunResult:
+        """Execute until HALT, fault, input exhaustion, or a stop point.
+
+        ``stop_at`` is an absolute ``instr_count`` at which to pause
+        (the checkpoint manager's boundary); ``max_steps`` is a relative
+        budget on this call.
+        """
+        if self.fault is not None:
+            return RunResult(RunReason.FAULT, self.fault)
+        if self.halted:
+            return RunResult(RunReason.HALT)
+
+        if max_steps is not None:
+            budget_stop = self.instr_count + max_steps
+            stop_at = (budget_stop if stop_at is None
+                       else min(stop_at, budget_stop))
+
+        mem = self.mem
+        clock = self.clock
+        instr_ns = self.costs.instr_ns
+        frames = self.frames
+        glb = self.globals
+
+        while True:
+            if stop_at is not None and self.instr_count >= stop_at:
+                return RunResult(RunReason.STOP)
+            frame = frames[-1]
+            code = frame.func.code
+            pc = frame.pc
+            if pc >= len(code):
+                instr = (isa.RET, None, None, None, None)
+            else:
+                instr = code[pc]
+            op = instr[0]
+            frame.pc = pc + 1
+            self.instr_count += 1
+            clock.charge(instr_ns)
+            loc = frame.locals
+
+            try:
+                if op == isa.LOAD:
+                    addr = loc[instr[2]] + instr[3]
+                    if self.trace_accesses:
+                        self.extension.note_access(
+                            addr, instr[4], False, (frame.func.name, pc))
+                    loc[instr[1]] = mem.read_uint(addr, instr[4])
+                elif op == isa.STORE:
+                    addr = loc[instr[1]] + instr[2]
+                    if self.trace_accesses:
+                        self.extension.note_access(
+                            addr, instr[3], True, (frame.func.name, pc))
+                    mem.write_uint(addr, instr[3], loc[instr[4]])
+                elif op == isa.CONST:
+                    loc[instr[1]] = instr[2] & _MASK64
+                elif op == isa.MOV:
+                    loc[instr[1]] = loc[instr[2]]
+                elif op == isa.ADD:
+                    loc[instr[1]] = (loc[instr[2]] + loc[instr[3]]) & _MASK64
+                elif op == isa.ADDI:
+                    loc[instr[1]] = (loc[instr[2]] + instr[3]) & _MASK64
+                elif op == isa.SUB:
+                    loc[instr[1]] = (loc[instr[2]] - loc[instr[3]]) & _MASK64
+                elif op == isa.MUL:
+                    loc[instr[1]] = (loc[instr[2]] * loc[instr[3]]) & _MASK64
+                elif op == isa.DIV:
+                    d = loc[instr[3]]
+                    if d == 0:
+                        raise DivisionByZeroFault("division by zero")
+                    loc[instr[1]] = loc[instr[2]] // d
+                elif op == isa.MOD:
+                    d = loc[instr[3]]
+                    if d == 0:
+                        raise DivisionByZeroFault("modulo by zero")
+                    loc[instr[1]] = loc[instr[2]] % d
+                elif op == isa.AND:
+                    loc[instr[1]] = loc[instr[2]] & loc[instr[3]]
+                elif op == isa.OR:
+                    loc[instr[1]] = loc[instr[2]] | loc[instr[3]]
+                elif op == isa.XOR:
+                    loc[instr[1]] = loc[instr[2]] ^ loc[instr[3]]
+                elif op == isa.SHL:
+                    loc[instr[1]] = (loc[instr[2]]
+                                     << (loc[instr[3]] & 63)) & _MASK64
+                elif op == isa.SHR:
+                    loc[instr[1]] = loc[instr[2]] >> (loc[instr[3]] & 63)
+                elif op == isa.LT:
+                    loc[instr[1]] = 1 if loc[instr[2]] < loc[instr[3]] else 0
+                elif op == isa.LE:
+                    loc[instr[1]] = 1 if loc[instr[2]] <= loc[instr[3]] else 0
+                elif op == isa.GT:
+                    loc[instr[1]] = 1 if loc[instr[2]] > loc[instr[3]] else 0
+                elif op == isa.GE:
+                    loc[instr[1]] = 1 if loc[instr[2]] >= loc[instr[3]] else 0
+                elif op == isa.EQ:
+                    loc[instr[1]] = 1 if loc[instr[2]] == loc[instr[3]] else 0
+                elif op == isa.NE:
+                    loc[instr[1]] = 1 if loc[instr[2]] != loc[instr[3]] else 0
+                elif op == isa.NOT:
+                    loc[instr[1]] = 1 if loc[instr[2]] == 0 else 0
+                elif op == isa.NEG:
+                    loc[instr[1]] = (-loc[instr[2]]) & _MASK64
+                elif op == isa.JMP:
+                    frame.pc = instr[1]
+                elif op == isa.JZ:
+                    if loc[instr[1]] == 0:
+                        frame.pc = instr[2]
+                elif op == isa.JNZ:
+                    if loc[instr[1]] != 0:
+                        frame.pc = instr[2]
+                elif op == isa.CALL:
+                    callee = self.program.functions[instr[2]]
+                    new_locals = [0] * callee.n_locals
+                    for i, slot in enumerate(instr[3]):
+                        new_locals[i] = loc[slot]
+                    frames.append(Frame(callee, 0, new_locals, instr[1]))
+                elif op == isa.RET:
+                    value = 0 if instr[1] is None else loc[instr[1]]
+                    finished = frames.pop()
+                    if not frames:
+                        self.halted = True
+                        return RunResult(RunReason.HALT)
+                    if finished.ret_dst is not None:
+                        frames[-1].locals[finished.ret_dst] = value
+                elif op == isa.MALLOC:
+                    clock.charge(self.costs.alloc_ns)
+                    site = (None if self.extension.mode is ExtensionMode.OFF
+                            else self.current_callsite(pc))
+                    loc[instr[1]] = self.extension.malloc(loc[instr[2]], site)
+                elif op == isa.FREE:
+                    clock.charge(self.costs.alloc_ns)
+                    site = (None if self.extension.mode is ExtensionMode.OFF
+                            else self.current_callsite(pc))
+                    self.extension.free(loc[instr[1]], site)
+                elif op == isa.MEMSET:
+                    addr, val, ln = (loc[instr[1]], loc[instr[2]],
+                                     loc[instr[3]])
+                    if ln:
+                        if self.trace_accesses:
+                            self.extension.note_access(
+                                addr, ln, True, (frame.func.name, pc))
+                        mem.fill(addr, val & 0xFF, ln)
+                        clock.charge(self.costs.fill_cost(ln))
+                elif op == isa.MEMCPY:
+                    dst, src, ln = (loc[instr[1]], loc[instr[2]],
+                                    loc[instr[3]])
+                    if ln:
+                        if self.trace_accesses:
+                            iid = (frame.func.name, pc)
+                            self.extension.note_access(src, ln, False, iid)
+                            self.extension.note_access(dst, ln, True, iid)
+                        mem.copy_within(dst, src, ln)
+                        clock.charge(self.costs.fill_cost(ln))
+                elif op == isa.IN:
+                    token = self.input.next()
+                    if token is None:
+                        # Rewind so a later feed()+run() re-executes IN.
+                        frame.pc = pc
+                        self.instr_count -= 1
+                        return RunResult(RunReason.INPUT_EXHAUSTED)
+                    loc[instr[1]] = token & _MASK64
+                elif op == isa.OUT:
+                    self.output.emit(clock.now_ns, loc[instr[1]])
+                elif op == isa.ASSERT:
+                    if loc[instr[1]] == 0:
+                        raise AssertionFailure(instr[2] or "assertion failed")
+                elif op == isa.HALT:
+                    self.halted = True
+                    return RunResult(RunReason.HALT)
+                elif op == isa.GLOAD:
+                    loc[instr[1]] = glb[instr[2]]
+                elif op == isa.GSTORE:
+                    glb[instr[1]] = loc[instr[2]]
+                elif op == isa.RAND:
+                    loc[instr[1]] = self.entropy.next_u64()
+                elif op == isa.NOP:
+                    pass
+                else:  # pragma: no cover - finalize() rejects these
+                    raise SimulatedFault(f"illegal opcode {op}")
+            except SimulatedFault as fault:
+                fault.instr_id = (frame.func.name, pc)
+                self.fault = fault
+                return RunResult(RunReason.FAULT, fault)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (machine part only)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> MachineSnapshot:
+        return MachineSnapshot(self.frames, self.globals, self.instr_count,
+                               self.halted, self.input.snapshot(),
+                               self.output.snapshot())
+
+    def restore(self, snap: MachineSnapshot) -> None:
+        self.frames = [f.copy() for f in snap.frames]
+        self.globals = list(snap.globals)
+        self.instr_count = snap.instr_count
+        self.halted = snap.halted
+        self.fault = None
+        self.input.restore(snap.input_cursor)
+        self.output.restore(snap.output_length)

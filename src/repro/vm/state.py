@@ -1,0 +1,49 @@
+"""Machine state: frames and snapshot plumbing.
+
+Snapshots here cover only the *machine* part of a process (frames,
+globals, instruction counter).  The checkpoint package composes this
+with heap, allocator, extension, and I/O snapshots into a full process
+checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.vm.program import Function
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("func", "pc", "locals", "ret_dst")
+
+    def __init__(self, func: Function, pc: int, local_slots: List[int],
+                 ret_dst: Optional[int]):
+        self.func = func
+        self.pc = pc
+        self.locals = local_slots
+        self.ret_dst = ret_dst
+
+    def copy(self) -> "Frame":
+        return Frame(self.func, self.pc, list(self.locals), self.ret_dst)
+
+    def __repr__(self) -> str:
+        return f"Frame({self.func.name}@{self.pc})"
+
+
+class MachineSnapshot:
+    """Immutable copy of the machine-visible state."""
+
+    __slots__ = ("frames", "globals", "instr_count", "halted",
+                 "input_cursor", "output_length")
+
+    def __init__(self, frames: List[Frame], global_slots: List[int],
+                 instr_count: int, halted: bool, input_cursor: int,
+                 output_length: int):
+        self.frames = [f.copy() for f in frames]
+        self.globals = list(global_slots)
+        self.instr_count = instr_count
+        self.halted = halted
+        self.input_cursor = input_cursor
+        self.output_length = output_length

@@ -1,0 +1,24 @@
+"""Synthetic workloads for the overhead experiments.
+
+The paper measures normal-run overhead (Figure 6) and space overheads
+(Tables 6-7) on SPEC INT2000 plus four allocation-intensive programs
+(cfrac, espresso, lindsay, p2c).  Those binaries and inputs are not
+reproducible here; what the experiments actually depend on is each
+benchmark's *memory profile* -- live heap size, object size
+distribution, allocation/free rate, and per-interval page touch rate.
+:mod:`repro.workloads.profiles` records those profiles (heap sizes
+scaled 1/100 from Table 6, page rates shaped from Table 7) and
+:mod:`repro.workloads.kernel` generates a MiniC kernel with exactly
+that profile.
+"""
+
+from repro.workloads.profiles import (
+    ALLOC_INTENSIVE,
+    PROFILES,
+    SPEC_INT2000,
+    Profile,
+)
+from repro.workloads.kernel import build_kernel
+
+__all__ = ["Profile", "PROFILES", "SPEC_INT2000", "ALLOC_INTENSIVE",
+           "build_kernel"]

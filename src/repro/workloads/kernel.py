@@ -1,0 +1,88 @@
+"""MiniC kernel generator: Profile -> Program.
+
+The kernel builds a table of ``live_objects`` objects, then runs
+``rounds`` steady-state rounds.  Each round:
+
+1. **churn**: frees and reallocates ``churn_per_round`` objects
+   (allocator + extension load -- Figure 6's 'allocator' bars);
+2. **touch**: writes two words into ``touch_per_round`` objects at
+   pseudo-random slots (dirty-page / COW load -- Table 7);
+3. **compute**: a pure arithmetic loop (the non-memory baseline cost);
+4. emits one OUT token (progress/throughput marker).
+
+Slot selection uses a linear-congruential walk computed inside the
+kernel so the program stays fully deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.lang import compile_program
+from repro.vm.program import Program
+from repro.workloads.profiles import Profile
+
+_TEMPLATE = """
+// {name}: synthetic kernel ({group}), profile-generated
+int table = 0;
+int acc = 0;
+
+int main() {{
+    int n = {n};
+    int size = {size};
+    table = malloc(n * 8);
+    int i = 0;
+    while (i < n) {{
+        int obj = malloc(size);
+        store(obj, i);
+        store(obj + size - 8, i);
+        store(table + i * 8, obj);
+        i = i + 1;
+    }}
+    int r = 0;
+    while (r < {rounds}) {{
+        // churn phase
+        int c = 0;
+        while (c < {churn}) {{
+            int idx = (r * 7919 + c * 104729) % n;
+            int old = load(table + idx * 8);
+            free(old);
+            int fresh = malloc(size);
+            store(fresh, r);
+            store(fresh + size - 8, c);
+            store(table + idx * 8, fresh);
+            c = c + 1;
+        }}
+        // touch phase (dirties pages across the working set)
+        int t = 0;
+        while (t < {touch}) {{
+            int idx = (r * 31 + t * 17) % n;
+            int obj = load(table + idx * 8);
+            store(obj, r + t);
+            store(obj + (size / 2), t);
+            t = t + 1;
+        }}
+        // compute phase
+        int k = 0;
+        while (k < {compute}) {{
+            acc = acc * 3 + k;
+            acc = acc % 1000003;
+            k = k + 1;
+        }}
+        output(1);
+        r = r + 1;
+    }}
+    halt();
+}}
+"""
+
+
+def kernel_source(profile: Profile) -> str:
+    return _TEMPLATE.format(
+        name=profile.name, group=profile.group,
+        n=profile.live_objects, size=max(profile.obj_size, 16),
+        rounds=profile.rounds, churn=profile.churn_per_round,
+        touch=profile.touch_per_round, compute=profile.compute_per_round)
+
+
+def build_kernel(profile: Profile) -> Program:
+    """Compile the kernel program for ``profile``."""
+    return compile_program(kernel_source(profile), profile.name)

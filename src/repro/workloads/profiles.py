@@ -1,0 +1,68 @@
+"""Benchmark memory profiles.
+
+Heap sizes are the paper's Table 6 "original heap" values scaled by
+1/100 (the simulator works comfortably at that scale and every reported
+quantity is a ratio).  Touch/churn/compute rates are shaped from the
+paper's observations: SPEC programs with large working sets (vortex,
+bzip2, mcf, gzip) dominate checkpoint traffic (Table 7); the
+allocation-intensive quartet (cfrac, espresso, p2c) and twolf/perlbmk
+have many small objects, which is where the 16-byte-per-object
+allocator metadata shows up (Table 6); crafty/eon barely allocate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Memory behaviour of one benchmark."""
+
+    name: str
+    group: str              # "spec" | "alloc" | "app"
+    live_objects: int       # steady-state object count
+    obj_size: int           # bytes per object
+    churn_per_round: int    # objects freed+reallocated each round
+    touch_per_round: int    # objects written each round
+    compute_per_round: int  # arithmetic loop iterations each round
+    rounds: int             # steady-state rounds
+
+    @property
+    def heap_bytes(self) -> int:
+        return self.live_objects * self.obj_size
+
+
+def _p(name: str, group: str, n: int, size: int, churn: int, touch: int,
+       compute: int, rounds: int) -> Profile:
+    return Profile(name, group, n, size, churn, touch, compute, rounds)
+
+
+#: SPEC INT2000 profiles (scaled).  Comments give the paper's original
+#: heap (Table 6) and MB/checkpoint regime (Table 7) being modelled.
+SPEC_INT2000: List[Profile] = [
+    _p("164.gzip", "spec", 28, 65536, 1, 20, 500, 36),      # 180 MB, 4.6 MB/ck
+    _p("175.vpr", "spec", 400, 512, 6, 60, 400, 40),        # 20 MB, 1.4 MB/ck
+    _p("176.gcc", "spec", 1680, 512, 24, 80, 330, 36),      # 84 MB, 4.5 MB/ck
+    _p("181.mcf", "spec", 950, 1024, 0, 110, 300, 40),      # 95 MB, 9.7 MB/ck
+    _p("186.crafty", "spec", 17, 512, 0, 8, 850, 40),       # 0.86 MB, 0.9 MB/ck
+    _p("197.parser", "spec", 1200, 256, 30, 90, 300, 40),   # 30 MB, 10.9 MB/ck
+    _p("252.eon", "spec", 7, 512, 1, 2, 750, 40),           # 0.35 MB, 0.06 MB/ck
+    _p("253.perlbmk", "spec", 2280, 256, 60, 60, 270, 36),  # 57 MB, 4.6 MB/ck
+    _p("255.vortex", "spec", 1090, 1024, 12, 160, 240, 36), # 109 MB, 33 MB/ck
+    _p("256.bzip2", "spec", 29, 65536, 1, 45, 400, 36),     # 185 MB, 16 MB/ck
+    _p("300.twolf", "spec", 800, 40, 40, 50, 370, 40),      # 3.2 MB, 1.6 MB/ck
+]
+
+#: Allocation-intensive benchmarks (Berger 2000): tiny objects, very
+#: high malloc/free rates -- the allocator-extension stress case.
+ALLOC_INTENSIVE: List[Profile] = [
+    _p("cfrac", "alloc", 128, 16, 220, 20, 100, 36),        # 93% metadata
+    _p("espresso", "alloc", 300, 24, 150, 40, 130, 36),     # 30% metadata
+    _p("lindsay", "alloc", 18, 1024, 2, 12, 500, 40),       # 0.2% metadata
+    _p("p2c", "alloc", 400, 24, 130, 40, 130, 36),          # 55% metadata
+]
+
+PROFILES: Dict[str, Profile] = {
+    p.name: p for p in SPEC_INT2000 + ALLOC_INTENSIVE}

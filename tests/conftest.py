@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heap.allocator import LeaAllocator
+from repro.heap.base import Memory
+from repro.heap.extension import AllocatorExtension, ExtensionMode
+from repro.lang import compile_program
+from repro.process import Process
+from repro.util.callsite import CallSite
+from repro.vm.io import OutputLog, ReplayableInput
+from repro.vm.machine import Machine
+
+
+@pytest.fixture
+def mem():
+    return Memory()
+
+
+@pytest.fixture
+def allocator(mem):
+    return LeaAllocator(mem)
+
+
+@pytest.fixture
+def extension(mem, allocator):
+    return AllocatorExtension(mem, allocator, ExtensionMode.DIAGNOSTIC)
+
+
+def make_machine(source: str, tokens=(), mode=ExtensionMode.NORMAL,
+                 name="test"):
+    """Compile MiniC source and wrap it in a ready machine."""
+    program = compile_program(source, name)
+    memory = Memory()
+    ext = AllocatorExtension(memory, LeaAllocator(memory), mode)
+    return Machine(program, memory, ext, ReplayableInput(tokens),
+                   OutputLog())
+
+
+def make_process(source: str, tokens=(), mode=ExtensionMode.NORMAL,
+                 name="test", **kwargs) -> Process:
+    program = compile_program(source, name)
+    return Process(program, input_tokens=tokens, mode=mode, **kwargs)
+
+
+def site(*frames) -> CallSite:
+    """Shorthand CallSite constructor for tests."""
+    return CallSite(tuple(frames))

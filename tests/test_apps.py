@@ -1,0 +1,116 @@
+"""Application-level tests: every Table 2 app must crash without
+First-Aid, be diagnosed with the right bug type and patch-site count,
+recover, and never fail on the same bug again."""
+
+import pytest
+
+from repro.apps.registry import all_apps, get_app, real_bug_apps
+from repro.bench.harness import run_first_aid, spaced_workload
+from repro.core.diagnosis import Verdict
+from repro.heap.extension import ExtensionMode
+from repro.process import Process
+from repro.vm.machine import RunReason
+
+ALL_NAMES = ["apache", "apache-dpw", "apache-uir", "bc", "cvs", "m4",
+             "mutt", "pine", "squid"]
+
+
+def test_registry_complete():
+    assert sorted(app.name for app in all_apps()) == ALL_NAMES
+    assert sorted(app.name for app in real_bug_apps()) == [
+        "apache", "bc", "cvs", "m4", "mutt", "pine", "squid"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_programs_compile(name):
+    app = get_app(name)
+    program = app.program()
+    assert program.get("main") is not None
+    assert len(program.functions) >= 2
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_normal_workload_is_clean(name):
+    """Without triggers, every app runs to completion."""
+    app = get_app(name)
+    wl = app.normal_workload(requests=60)
+    process = Process(app.program(), input_tokens=wl.tokens,
+                      mode=ExtensionMode.OFF)
+    result = process.run()
+    assert result.reason is RunReason.HALT, f"{name}: {result}"
+    assert len(process.output.entries()) >= 50
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_trigger_crashes_unprotected(name):
+    app = get_app(name)
+    wl = app.workload(normal_before=15, triggers=1, normal_after=10)
+    process = Process(app.program(), input_tokens=wl.tokens,
+                      mode=ExtensionMode.OFF)
+    result = process.run()
+    assert result.reason is RunReason.FAULT, \
+        f"{name} should crash on its trigger, got {result}"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_first_aid_diagnoses_and_prevents(name):
+    app = get_app(name)
+    runtime, session, _wl = run_first_aid(app, triggers=2)
+    assert session.reason == "halt", f"{name}: {session.reason}"
+    assert len(session.recoveries) == 1, \
+        f"{name}: the patch did not prevent the second trigger"
+    rec = session.recoveries[0]
+    diag = rec.diagnosis
+    assert diag.verdict is Verdict.PATCHED
+    assert set(diag.bug_types) == set(app.BUG_TYPES), \
+        f"{name}: diagnosed {diag.bug_types}"
+    assert len(diag.patches) == app.EXPECTED_PATCH_SITES, \
+        f"{name}: {len(diag.patches)} patches, expected " \
+        f"{app.EXPECTED_PATCH_SITES}"
+    assert rec.succeeded
+    assert rec.validation is not None and rec.validation.consistent, \
+        f"{name}: {rec.validation.reasons if rec.validation else None}"
+
+
+def test_workload_boundaries_are_request_aligned():
+    app = get_app("squid")
+    wl = app.workload(normal_before=5, triggers=1, normal_after=3)
+    assert wl.boundaries[0] == 0
+    assert wl.boundaries == sorted(set(wl.boundaries))
+    assert wl.trigger_positions
+    assert all(t in wl.boundaries for t in wl.trigger_positions)
+    assert wl.next_boundary_after(wl.boundaries[-1] + 1) == \
+        len(wl.tokens)
+
+
+def test_workloads_are_deterministic_per_seed():
+    app = get_app("cvs")
+    a = app.workload(seed=9).tokens
+    b = app.workload(seed=9).tokens
+    c = app.workload(seed=10).tokens
+    assert a == b
+    assert a != c
+
+
+def test_apache_error_propagation_spans_checkpoints():
+    """The defining property of the Apache scenario: the purge
+    (bug-trigger) is several checkpoint intervals before the failure."""
+    app = get_app("apache")
+    runtime, session, _wl = run_first_aid(app, triggers=1)
+    rec = session.recoveries[0]
+    failure_instr = rec.failure.instr_count
+    chosen = rec.diagnosis.checkpoint.instr_count
+    interval = runtime.manager.interval
+    assert failure_instr - chosen >= 3 * interval
+
+
+def test_apache_patches_cover_seven_distinct_sites():
+    app = get_app("apache")
+    runtime, session, _wl = run_first_aid(app, triggers=1)
+    patches = session.recoveries[0].diagnosis.patches
+    assert len({p.point for p in patches}) == 7
+    inner = {p.point.frames[0][0] for p in patches}
+    assert inner == {"util_ald_free"}  # all through the wrapper
+    callers = {p.point.frames[1][0] for p in patches}
+    assert "util_ldap_search_node_free" in callers
+    assert "util_ald_cache_purge" in callers

@@ -1,0 +1,132 @@
+"""Per-app behavioural details beyond the headline diagnose/recover
+path, plus the apps CLI."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.heap.extension import ExtensionMode
+from repro.process import Process
+from repro.util.rng import DeterministicRNG
+from repro.vm.machine import RunReason
+
+
+def run_tokens(name, tokens):
+    app = get_app(name)
+    process = Process(app.program(), input_tokens=tokens,
+                      mode=ExtensionMode.OFF)
+    result = process.run()
+    return process, result
+
+
+class TestSquid:
+    def test_maintenance_purges_slots(self):
+        # fetches fill the table; maintenance frees entries; no crash
+        tokens = []
+        for _ in range(12):
+            tokens += [1, 10, 700]
+        tokens += [2, 2, 2, 0]
+        process, result = run_tokens("squid", tokens)
+        assert result.reason is RunReason.HALT
+
+    def test_served_bytes_reported(self):
+        process, result = run_tokens("squid", [1, 10, 1234, 0])
+        assert process.output.values() == [1234]
+
+    def test_overflow_is_length_dependent(self):
+        # lengths up to the buffer size are safe
+        process, result = run_tokens("squid", [1, 32, 100, 1, 32, 100, 0])
+        assert result.reason is RunReason.HALT
+
+
+class TestCvs:
+    def test_good_commit_path_is_clean(self):
+        process, result = run_tokens("cvs", [2, 100, 0] * 5 + [0])
+        assert result.reason is RunReason.HALT
+
+    def test_double_free_needs_bad_flag(self):
+        _, good = run_tokens("cvs", [2, 100, 0, 0])
+        assert good.reason is RunReason.HALT
+        _, bad = run_tokens("cvs", [2, 100, 1, 0])
+        assert bad.reason is RunReason.FAULT
+        assert bad.fault.kind == "heap-corruption"
+
+
+class TestM4:
+    def test_define_cache_expand_fresh_is_safe(self):
+        tokens = [1, 1, 42, 2, 1, 6, 1, 0]
+        process, result = run_tokens("m4", tokens)
+        assert result.reason is RunReason.HALT
+        # expansion outputs the macro value
+        assert 42 in process.output.values()
+
+    def test_popdef_of_empty_slot_is_safe(self):
+        process, result = run_tokens("m4", [4, 3, 4, 3, 0])
+        assert result.reason is RunReason.HALT
+
+    def test_stale_expand_needs_reuse(self):
+        # without the scratch reuse step the stale read still sees the
+        # old (valid) text and survives
+        tokens = [1, 1, 9, 2, 1, 3, 1, 10, 6, 1, 0]
+        process, result = run_tokens("m4", tokens)
+        assert result.reason is RunReason.HALT
+
+
+class TestBc:
+    def test_arithmetic_and_flush(self):
+        process, result = run_tokens(
+            "bc", [1, 6, 7, 4, 500, 5, 0])
+        assert result.reason is RunReason.HALT
+
+    def test_in_range_array_assign_safe(self):
+        process, result = run_tokens("bc", [2, 3, 99, 5, 0])
+        assert result.reason is RunReason.HALT
+
+    def test_trigger_needs_flush_to_crash(self):
+        app = get_app("bc")
+        grow_only = [2, 8, 42, 3, 9, 4, 5700, 0]  # no flush
+        process, result = run_tokens("bc", grow_only)
+        assert result.reason is RunReason.HALT
+
+
+class TestApacheVariants:
+    def test_uir_kind1_initializes_properly(self):
+        process, result = run_tokens("apache-uir",
+                                     [5, 3, 4, 1, 4, 1, 0])
+        assert result.reason is RunReason.HALT
+
+    def test_uir_fresh_memory_is_zero_so_safe(self):
+        # the kind==2 path on never-recycled memory reads OS zeros
+        process, result = run_tokens("apache-uir", [4, 2, 0])
+        assert result.reason is RunReason.HALT
+
+    def test_dpw_open_tick_route_is_safe(self):
+        process, result = run_tokens("apache-dpw",
+                                     [2, 5, 4, 9, 6, 5, 0])
+        assert result.reason is RunReason.HALT
+
+    def test_apache_status_without_purge_is_safe(self):
+        process, result = run_tokens("apache",
+                                     [2, 3, 3, 5, 9, 9, 0])
+        assert result.reason is RunReason.HALT
+
+
+class TestAppsCli:
+    def test_list(self, capsys):
+        from repro.apps.__main__ import main
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "squid" in out and "apache-dpw" in out
+
+    def test_run_first_aid(self, capsys):
+        from repro.apps.__main__ import main
+        assert main(["cvs", "--triggers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "failures survived: 1" in out
+        assert "double-free" in out
+
+    def test_run_restart(self, capsys):
+        from repro.apps.__main__ import main
+        assert main(["cvs", "--system", "restart",
+                     "--triggers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "restarts: 1" in out

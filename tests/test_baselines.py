@@ -1,0 +1,97 @@
+"""Baseline tests: Rx recovers but does not prevent; restart loses
+work; First-Aid beats both on repeated triggers."""
+
+from repro.apps.registry import get_app
+from repro.baselines import RestartRuntime, RxRuntime
+from repro.bench.harness import (
+    run_first_aid,
+    run_restart,
+    run_rx,
+    spaced_workload,
+    throughput_series,
+)
+
+
+class TestRx:
+    def test_rx_survives_each_trigger(self):
+        app = get_app("squid")
+        wl = spaced_workload(app, triggers=2)
+        runtime, session, _ = run_rx(app, workload=wl)
+        assert session.reason == "halt"
+        # Rx cannot prevent reoccurrence: at least one recovery per
+        # trigger
+        assert len(session.recoveries) >= 2
+        assert all(r.succeeded for r in session.recoveries)
+
+    def test_rx_whole_heap_accounting(self):
+        app = get_app("squid")
+        runtime, session, _ = run_rx(app, triggers=1)
+        rec = session.recoveries[0]
+        # whole-heap changes touch many more sites/objects than the
+        # single-site patch First-Aid generates
+        assert rec.affected_callsites > 1
+        assert rec.affected_objects > 10
+
+    def test_rx_changes_disabled_after_recovery(self):
+        app = get_app("squid")
+        runtime, session, _ = run_rx(app, triggers=1)
+        from repro.heap.extension import ExtensionMode
+        assert runtime.process.extension.mode is ExtensionMode.NORMAL
+        decision = runtime.process.extension.policy.on_alloc(None)
+        assert decision.pad_pre == 0 and decision.fill is None
+
+
+class TestRestart:
+    def test_restart_crashes_per_trigger(self):
+        app = get_app("cvs")
+        wl = spaced_workload(app, triggers=3)
+        runtime, session, _ = run_restart(app, workload=wl)
+        assert session.reason in ("halt", "input")
+        assert session.restarts == 3
+
+    def test_restart_downtime_charged(self):
+        from repro.baselines.restart import RESTART_DOWNTIME_NS
+        app = get_app("cvs")
+        wl = spaced_workload(app, triggers=2)
+        runtime, session, _ = run_restart(app, workload=wl)
+        # after 2 crashes the clock includes 2 downtimes
+        assert runtime.clock.now_ns >= 2 * RESTART_DOWNTIME_NS
+
+    def test_restart_resyncs_at_request_boundary(self):
+        app = get_app("squid")
+        wl = spaced_workload(app, triggers=1)
+        runtime, session, _ = run_restart(app, workload=wl)
+        assert session.restarts == 1
+        # completed requests from before and after the crash are seen
+        assert len(runtime.output.values()) > 20
+
+    def test_gave_up_guard(self):
+        app = get_app("cvs")
+        wl = spaced_workload(app, triggers=3)
+        runtime = RestartRuntime(app.program(), wl, max_restarts=2)
+        session = runtime.run()
+        assert session.reason == "gave-up"
+        assert session.restarts == 2
+
+
+class TestComparison:
+    def test_first_aid_beats_baselines_on_repeat_triggers(self):
+        app = get_app("squid")
+        wl = spaced_workload(app, triggers=3)
+        _fa, fa_session, _ = run_first_aid(app, workload=wl)
+        _rx, rx_session, _ = run_rx(app, workload=wl)
+        _rs, rs_session, _ = run_restart(app, workload=wl)
+        assert len(fa_session.recoveries) == 1
+        assert len(rx_session.recoveries) >= 3
+        assert rs_session.restarts == 3
+
+    def test_throughput_binning(self):
+        entries = [(0, 1_000_000), (500_000_000, 1_000_000),
+                   (1_500_000_000, 2_000_000)]
+        bins = throughput_series(entries, bin_seconds=1.0)
+        assert bins[0] == 2.0   # 2 MB in second 0
+        assert bins[1] == 2.0
+
+    def test_throughput_binning_empty(self):
+        assert throughput_series([], 1.0) == []
+        assert len(throughput_series([], 1.0, total_seconds=3.0)) >= 3

@@ -1,0 +1,60 @@
+"""Bench-layer tests: experiment registry, paper data, fast
+experiments (the heavy ones are exercised by benchmarks/)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    table2_inventory,
+    table3_effectiveness,
+)
+from repro.bench import paper_data
+
+
+def test_registry_covers_all_tables_and_figures():
+    assert set(EXPERIMENTS) >= {
+        "table2", "table3", "table4", "table5", "table6", "table7",
+        "figure4", "figure5", "figure6"}
+    assert {"ablation-heap-marking", "ablation-rx-misdiagnosis",
+            "ablation-site-search"} <= set(EXPERIMENTS)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("table99")
+
+
+def test_table2_static():
+    result = run_experiment("table2")
+    assert len(result.rows) == 9
+    assert result.render().count("apache") >= 3
+
+
+def test_table3_single_app_subset():
+    result = table3_effectiveness(apps=["cvs"])
+    assert len(result.rows) == 1
+    assert result.data["cvs"]["ok"]
+    assert result.data["cvs"]["patch_sites"] == 1
+
+
+def test_paper_data_complete():
+    nine = {"apache", "squid", "cvs", "pine", "mutt", "m4", "bc",
+            "apache-uir", "apache-dpw"}
+    assert set(paper_data.TABLE3) == nine
+    assert set(paper_data.TABLE4) == nine - {"apache-uir", "apache-dpw"}
+    assert set(paper_data.TABLE5) == nine - {"apache-uir", "apache-dpw"}
+    # figure-6 population: 7 apps + 11 SPEC + 4 alloc-intensive
+    assert len(paper_data.TABLE6_OVERHEAD_PCT) == 22
+    assert len(paper_data.TABLE7) == 22
+    assert paper_data.FIGURE6_OVERHEAD_AVG == pytest.approx(0.037)
+
+
+def test_paper_table3_values_match_paper_text():
+    # spot-check the transcription against the paper's Table 3
+    assert paper_data.TABLE3["apache"][2] == 3.978
+    assert paper_data.TABLE3["apache"][4] == 28
+    assert paper_data.TABLE3["cvs"][4] == 6
+    assert paper_data.TABLE3["bc"][1] == "add padding(3)"
+    assert paper_data.TABLE4["squid"] == (1, 61, 1, 3626)
+    assert paper_data.TABLE5["m4"][2] == 128

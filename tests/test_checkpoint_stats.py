@@ -1,0 +1,39 @@
+"""CheckpointStats arithmetic and Checkpoint object tests."""
+
+from repro.checkpoint.manager import CheckpointStats
+from repro.checkpoint.snapshot import Checkpoint
+from repro.heap.base import PAGE_SIZE
+
+
+class FakeState:
+    instr_count = 1234
+
+
+def test_bytes_per_checkpoint_average():
+    stats = CheckpointStats()
+    assert stats.bytes_per_checkpoint == 0.0
+    stats.per_checkpoint_pages = [2, 4, 6]
+    assert stats.bytes_per_checkpoint == 4 * PAGE_SIZE
+
+
+def test_bytes_per_second():
+    stats = CheckpointStats()
+    stats.pages_copied_total = 10
+    stats.per_checkpoint_interval = [1000, 1000]   # 2000 instrs total
+    # 2000 instrs x 10_000 ns = 2e7 ns = 0.02 s
+    expected = (10 * PAGE_SIZE) / 0.02
+    assert stats.bytes_per_second(10_000) == expected
+    assert stats.bytes_per_second(0) == 0.0
+
+
+def test_bytes_per_second_empty():
+    assert CheckpointStats().bytes_per_second(10_000) == 0.0
+
+
+def test_checkpoint_repr_and_fields():
+    ck = Checkpoint(index=3, time_ns=2_500_000_000, state=FakeState(),
+                    cow_pages=7, page_size=PAGE_SIZE)
+    assert ck.instr_count == 1234
+    assert ck.space_bytes == 7 * PAGE_SIZE
+    text = repr(ck)
+    assert "#3" in text and "2.500" in text and "cow_pages=7" in text

@@ -1,0 +1,229 @@
+"""Tests for environmental changes, diagnostic policies, and the patch
+pool (including persistence)."""
+
+import pytest
+
+from repro.core.bugtypes import ALL_BUG_TYPES, BugType, CHANGE_GROUPS
+from repro.core.changes import (
+    AllocChange,
+    DiagnosticPolicy,
+    FreeChange,
+    combine_alloc,
+    combine_free,
+    changes_for,
+    exposing_change,
+    preventive_change,
+)
+from repro.core.patches import PatchPolicy, PatchPool, RuntimePatch
+from repro.errors import PatchError
+from repro.heap.extension import PAD_POST, PAD_PRE
+from tests.conftest import site
+
+
+class TestTable1:
+    """The change taxonomy must match the paper's Table 1."""
+
+    def test_every_bug_type_has_both_changes(self):
+        for bug_type in ALL_BUG_TYPES:
+            assert preventive_change(bug_type) is not None
+            assert exposing_change(bug_type) is not None
+
+    def test_overflow_changes(self):
+        prev = preventive_change(BugType.BUFFER_OVERFLOW)
+        expo = exposing_change(BugType.BUFFER_OVERFLOW)
+        assert isinstance(prev, AllocChange) and prev.pad
+        assert not prev.canary_pad
+        assert expo.canary_pad
+
+    def test_dangling_changes_are_free_side(self):
+        for bug_type in (BugType.DANGLING_READ, BugType.DANGLING_WRITE):
+            prev = preventive_change(bug_type)
+            expo = exposing_change(bug_type)
+            assert isinstance(prev, FreeChange) and prev.delay
+            assert not prev.canary_fill
+            assert expo.delay and expo.canary_fill
+
+    def test_double_free_checks_params(self):
+        assert preventive_change(BugType.DOUBLE_FREE).check_param
+        assert exposing_change(BugType.DOUBLE_FREE).check_param
+
+    def test_uninit_read_fills(self):
+        assert preventive_change(BugType.UNINIT_READ).fill == "zero"
+        assert exposing_change(BugType.UNINIT_READ).fill == "canary"
+
+    def test_patch_points(self):
+        assert BugType.BUFFER_OVERFLOW.patch_point == "alloc"
+        assert BugType.UNINIT_READ.patch_point == "alloc"
+        for bug_type in (BugType.DANGLING_READ, BugType.DANGLING_WRITE,
+                         BugType.DOUBLE_FREE):
+            assert bug_type.patch_point == "free"
+
+    def test_change_groups_partition_all_types(self):
+        flat = [b for group in CHANGE_GROUPS for b in group]
+        assert sorted(flat, key=lambda b: b.value) == \
+            sorted(ALL_BUG_TYPES, key=lambda b: b.value)
+        assert len(flat) == len(set(flat))
+
+
+class TestCombination:
+    def test_combine_alloc_pad_and_fill(self):
+        decision = combine_alloc([AllocChange(pad=True),
+                                  AllocChange(fill="zero")])
+        assert decision.pad_pre == PAD_PRE
+        assert decision.pad_post == PAD_POST
+        assert decision.fill == "zero"
+        assert not decision.canary_pad
+
+    def test_canary_fill_dominates_zero(self):
+        decision = combine_alloc([AllocChange(fill="zero"),
+                                  AllocChange(fill="canary")])
+        assert decision.fill == "canary"
+        decision = combine_alloc([AllocChange(fill="canary"),
+                                  AllocChange(fill="zero")])
+        assert decision.fill == "canary"
+
+    def test_free_changes_or_together(self):
+        decision = combine_free([FreeChange(delay=True),
+                                 FreeChange(check_param=True)])
+        assert decision.delay and decision.check_param
+        assert not decision.canary_fill
+
+    def test_alloc_changes_ignored_by_combine_free(self):
+        decision = combine_free([AllocChange(pad=True)])
+        assert not decision.delay
+
+    def test_all_preventive_combination(self):
+        changes = changes_for(ALL_BUG_TYPES, exposing=False)
+        alloc = combine_alloc(changes)
+        free = combine_free(changes)
+        assert alloc.pad_pre and alloc.fill == "zero"
+        assert not alloc.canary_pad
+        assert free.delay and free.check_param and not free.canary_fill
+
+
+class TestDiagnosticPolicy:
+    def test_defaults_and_overrides(self):
+        special = site(("f", 1))
+        policy = DiagnosticPolicy(
+            free_default=[FreeChange(delay=True)],
+            free_overrides={special: [FreeChange(delay=True,
+                                                 canary_fill=True)]})
+        plain = policy.on_free(site(("g", 2)), 0x1000)
+        assert plain.delay and not plain.canary_fill
+        exposed = policy.on_free(special, 0x2000)
+        assert exposed.delay and exposed.canary_fill
+
+    def test_records_seen_sites_with_counts(self):
+        policy = DiagnosticPolicy()
+        a, b = site(("f", 1)), site(("g", 2))
+        policy.on_alloc(a)
+        policy.on_alloc(a)
+        policy.on_free(b, 0)
+        assert policy.seen_alloc_sites == {a: 2}
+        assert policy.seen_free_sites == {b: 1}
+
+    def test_none_callsite_tolerated(self):
+        policy = DiagnosticPolicy()
+        assert policy.on_alloc(None).pad_pre == 0
+        assert not policy.on_free(None, 0).delay
+
+
+class TestPatchPool:
+    def test_new_patch_and_dedupe(self):
+        pool = PatchPool("app")
+        s = site(("f", 1))
+        a = pool.new_patch(BugType.BUFFER_OVERFLOW, s)
+        b = pool.new_patch(BugType.BUFFER_OVERFLOW, s)
+        assert a is b
+        assert len(pool) == 1
+        c = pool.new_patch(BugType.DANGLING_READ, site(("g", 2)))
+        assert c.patch_id != a.patch_id
+
+    def test_apply_at_derived_from_bug_type(self):
+        pool = PatchPool("app")
+        overflow = pool.new_patch(BugType.BUFFER_OVERFLOW, site(("f", 1)))
+        dangling = pool.new_patch(BugType.DANGLING_READ, site(("g", 2)))
+        assert overflow.apply_at == "alloc"
+        assert dangling.apply_at == "free"
+
+    def test_mismatched_apply_at_rejected(self):
+        with pytest.raises(PatchError):
+            RuntimePatch(1, BugType.BUFFER_OVERFLOW, site(("f", 1)),
+                         "free")
+
+    def test_remove(self):
+        pool = PatchPool("app")
+        patch = pool.new_patch(BugType.UNINIT_READ, site(("f", 1)))
+        pool.remove(patch.patch_id)
+        assert len(pool) == 0
+        assert pool.get(patch.patch_id) is None
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = str(tmp_path / "pool.json")
+        pool = PatchPool("myapp")
+        pool.new_patch(BugType.BUFFER_OVERFLOW,
+                       site(("alloc", 3), ("handler", 7), ("main", 2)))
+        patch = pool.new_patch(BugType.DOUBLE_FREE, site(("free", 1)))
+        patch.validated = True
+        pool.save(path)
+        loaded = PatchPool.load(path)
+        assert loaded.program_name == "myapp"
+        assert len(loaded) == 2
+        reloaded = loaded.find(BugType.DOUBLE_FREE, site(("free", 1)))
+        assert reloaded.validated
+        # new patches continue the id sequence
+        fresh = loaded.new_patch(BugType.UNINIT_READ, site(("x", 9)))
+        assert fresh.patch_id > patch.patch_id
+
+    def test_load_or_create(self, tmp_path):
+        path = str(tmp_path / "pool.json")
+        pool = PatchPool.load_or_create(path, "app")
+        assert len(pool) == 0
+        pool.new_patch(BugType.UNINIT_READ, site(("f", 1)))
+        pool.save(path)
+        again = PatchPool.load_or_create(path, "app")
+        assert len(again) == 1
+
+    def test_load_or_create_program_mismatch(self, tmp_path):
+        path = str(tmp_path / "pool.json")
+        PatchPool("alpha").save(path)
+        with pytest.raises(PatchError):
+            PatchPool.load_or_create(path, "beta")
+
+
+class TestPatchPolicy:
+    def test_matching_site_gets_preventive_change(self):
+        pool = PatchPool("app")
+        alloc_site = site(("builder", 4), ("handler", 2))
+        pool.new_patch(BugType.BUFFER_OVERFLOW, alloc_site)
+        policy = PatchPolicy(pool)
+        hit = policy.on_alloc(alloc_site)
+        assert hit.pad_pre == PAD_PRE and hit.patch_id is not None
+        miss = policy.on_alloc(site(("other", 9)))
+        assert miss.pad_pre == 0 and miss.patch_id is None
+
+    def test_delay_free_patch_always_checks_params(self):
+        pool = PatchPool("app")
+        free_site = site(("rel", 1))
+        pool.new_patch(BugType.DANGLING_READ, free_site)
+        policy = PatchPolicy(pool)
+        decision = policy.on_free(free_site, 0x100)
+        assert decision.delay and decision.check_param
+
+    def test_trigger_counting(self):
+        pool = PatchPool("app")
+        s = site(("f", 1))
+        patch = pool.new_patch(BugType.UNINIT_READ, s)
+        policy = PatchPolicy(pool)
+        policy.on_alloc(s)
+        policy.on_alloc(s)
+        assert patch.trigger_count == 2
+
+    def test_refresh_picks_up_new_patches(self):
+        pool = PatchPool("app")
+        policy = PatchPolicy(pool)
+        s = site(("f", 1))
+        assert policy.on_alloc(s).patch_id is None
+        pool.new_patch(BugType.BUFFER_OVERFLOW, s)
+        policy.refresh()
+        assert policy.on_alloc(s).patch_id is not None

@@ -1,0 +1,166 @@
+"""Heap-marking tests, including the Figure 3 misidentification
+scenario the technique exists to prevent."""
+
+from repro.checkpoint.manager import CheckpointManager
+from repro.core.changes import DiagnosticPolicy, changes_for
+from repro.core.bugtypes import ALL_BUG_TYPES
+from repro.core.heap_marking import GUARD_SIZE, HeapMarking
+from repro.heap.allocator import LeaAllocator
+from repro.heap.base import Memory
+from repro.heap.canary import CANARY_BYTE
+from repro.heap.extension import ExtensionMode
+from repro.vm.machine import RunReason
+from tests.conftest import make_process
+
+
+class TestMarkingMechanics:
+    def test_free_chunks_marked_and_scanned_clean(self):
+        mem = Memory()
+        alloc = LeaAllocator(mem)
+        a = alloc.malloc(64)
+        _anchor = alloc.malloc(64)
+        alloc.free(a)
+        marking = HeapMarking(mem, alloc)
+        marking.apply()
+        assert mem.read_bytes(a, 8) == bytes([CANARY_BYTE]) * 8
+        assert marking.scan() == []
+
+    def test_write_into_marked_chunk_detected(self):
+        mem = Memory()
+        alloc = LeaAllocator(mem)
+        a = alloc.malloc(64)
+        _anchor = alloc.malloc(64)
+        alloc.free(a)
+        marking = HeapMarking(mem, alloc)
+        marking.apply()
+        mem.write_bytes(a + 4, b"dangling!")
+        hits = marking.scan()
+        assert len(hits) == 1
+        assert hits[0].kind == "free-chunk"
+
+    def test_guard_planted_beyond_last_object(self):
+        mem = Memory()
+        alloc = LeaAllocator(mem)
+        last = alloc.malloc(64)
+        marking = HeapMarking(mem, alloc)
+        marking.apply()
+        # an overflow running past the last object hits the guard
+        mem.write_bytes(last + 64 + 16, b"overrun")
+        hits = marking.scan()
+        assert any(h.kind == "top-guard" for h in hits)
+        assert marking._guard_addr > last
+
+    def test_legitimate_reuse_not_flagged(self):
+        mem = Memory()
+        alloc = LeaAllocator(mem)
+        a = alloc.malloc(64)
+        _anchor = alloc.malloc(64)
+        alloc.free(a)
+        marking = HeapMarking(mem, alloc)
+        marking.apply()
+        fresh = alloc.malloc(64)       # legitimately reuses the chunk
+        assert fresh == a
+        mem.write_bytes(fresh, b"normal use")
+        assert marking.scan() == []
+
+    def test_guard_size(self):
+        assert GUARD_SIZE == 1024      # ~1 KB as the padding in Table 5
+
+
+# The Figure 3 scenario: the dangling pointer is created (object freed)
+# BEFORE the checkpoint; whole-heap preventive changes disturb the
+# layout enough to dodge the failure, so without heap marking phase 1
+# would pick a checkpoint that is *after* the bug-triggering point.
+FIGURE3_APP = """
+int p = 0;        // the dangling pointer
+int anchor = 0;
+int main() {
+    anchor = malloc(64);
+    store(anchor, 1);
+    while (1) {
+        int op = input();
+        if (op == 0) { halt(); }
+        if (op == 1) {
+            int b = malloc(40);
+            store(b, anchor);
+            p = b;
+            free(b);             // bug-trigger point: p dangles
+        }
+        if (op == 5) {
+            // E reuses B's space, then the dangling read fires --
+            // both inside one request so no checkpoint can separate
+            // the reuse from the failure
+            int e = malloc(40);
+            store(e, 7);
+            int q = load(p);     // read through the dangling pointer
+            store(q, load(q) + 1);
+        }
+        output(1);
+    }
+}
+"""
+
+
+def test_figure3_preventive_changes_alone_misidentify():
+    """Without marking, an all-preventive re-execution from a
+    checkpoint taken after the free 'succeeds' (padding keeps E away
+    from B's space), which would misidentify the checkpoint."""
+    tokens = [4, 4, 1] + [4] * 30 + [5] + [4, 0]
+    process = make_process(FIGURE3_APP, tokens=tokens)
+    manager = CheckpointManager(process, interval=60, adaptive=False)
+    result = manager.run()
+    assert result.reason is RunReason.FAULT
+    fail_instr = process.instr_count
+    # pick a checkpoint after the free (op 1 happens within the first
+    # ~70 instructions) but before the reuse+failure request
+    late = next(c for c in reversed(list(manager.checkpoints))
+                if c.instr_count <= fail_instr - 25)
+    assert late.instr_count > 120  # well after the bug-trigger point
+    changes = changes_for(ALL_BUG_TYPES, exposing=False)
+    policy = DiagnosticPolicy(alloc_default=changes, free_default=changes)
+
+    manager.rollback_to(late)
+    process.set_mode(ExtensionMode.DIAGNOSTIC, policy)
+    outcome = process.run(stop_at=fail_instr + 200)
+    # the failure is (wrongly) avoided: heap layout disturbance
+    assert outcome.reason in (RunReason.STOP, RunReason.HALT)
+
+    # now the same probe WITH heap marking: the marked free chunk makes
+    # the stale read return canary and the re-execution fails (or the
+    # scan reports corruption), steering phase 1 to an earlier
+    # checkpoint.
+    manager.rollback_to(late)
+    from repro.core.heap_marking import HeapMarking
+    marking = HeapMarking(process.mem, process.allocator)
+    marking.apply()
+    process.set_mode(ExtensionMode.DIAGNOSTIC, policy)
+    outcome = process.run(stop_at=fail_instr + 200)
+    assert (outcome.reason is RunReason.FAULT) or marking.scan()
+
+
+def test_full_diagnosis_picks_checkpoint_before_trigger():
+    """End to end: the engine must select a checkpoint before the
+    bug-trigger point thanks to the marking probe."""
+    from repro.core.diagnosis import DiagnosticEngine, Verdict
+    from repro.core.patches import PatchPool
+    from repro.monitors import default_monitors
+
+    tokens = [4, 4, 1] + [4] * 12 + [5] + [4] * 5 + [0]
+    process = make_process(FIGURE3_APP, tokens=tokens)
+    manager = CheckpointManager(process, interval=60, adaptive=False)
+    result = manager.run()
+    assert result.reason is RunReason.FAULT
+    failure = None
+    for monitor in default_monitors():
+        failure = monitor.check(result, process)
+        if failure:
+            break
+    engine = DiagnosticEngine(process, manager, PatchPool("fig3"),
+                              window_intervals=3,
+                              max_checkpoint_search=12)
+    diagnosis = engine.diagnose(failure)
+    assert diagnosis.verdict is Verdict.PATCHED
+    # the chosen checkpoint precedes the free (which happens in the
+    # third request, i.e. within the first couple of intervals)
+    trigger_region_end = 3 * 60
+    assert diagnosis.checkpoint.instr_count <= trigger_region_end

@@ -1,0 +1,158 @@
+"""Unit tests for the Lea-style allocator."""
+
+import pytest
+
+from repro.errors import HeapCorruptionFault, OutOfMemoryFault
+from repro.heap.allocator import SMALL_MAX, LeaAllocator
+from repro.heap.base import Memory, PAGE_SIZE
+from repro.heap.chunk import ALIGN, HEADER_SIZE, MIN_CHUNK, ChunkView
+
+
+@pytest.fixture
+def alloc():
+    return LeaAllocator(Memory())
+
+
+def test_malloc_returns_aligned_user_addresses(alloc):
+    for size in (1, 7, 16, 100, 1000):
+        addr = alloc.malloc(size)
+        assert addr % ALIGN == 0
+        assert alloc.usable_size(addr) >= size
+
+
+def test_distinct_live_allocations_do_not_overlap(alloc):
+    spans = []
+    for size in (10, 50, 200, 8, 64):
+        addr = alloc.malloc(size)
+        spans.append((addr, addr + size))
+    spans.sort()
+    for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+        assert a_end <= b_start
+
+
+def test_lifo_reuse_keeps_stale_contents(alloc):
+    a = alloc.malloc(100)
+    alloc.mem.write_bytes(a, b"x" * 100)
+    alloc.free(a)
+    b = alloc.malloc(100)
+    assert b == a                      # immediate LIFO reuse
+    assert alloc.mem.read_bytes(b, 4) == b"xxxx"  # never cleared
+
+
+def test_free_coalesces_into_top(alloc):
+    a = alloc.malloc(64)
+    used = alloc.heap_used
+    alloc.free(a)
+    assert alloc.heap_used < used
+    assert list(alloc.iter_free_chunks()) == []
+
+
+def test_forward_and_backward_coalescing(alloc):
+    a = alloc.malloc(64)
+    b = alloc.malloc(64)
+    _guard = alloc.malloc(64)          # keeps b away from top
+    alloc.free(a)
+    alloc.free(b)                      # backward-coalesces with a
+    chunks = list(alloc.iter_free_chunks())
+    assert len(chunks) == 1
+    assert chunks[0].size == 2 * (64 + HEADER_SIZE)
+
+
+def test_split_of_larger_chunk(alloc):
+    big = alloc.malloc(512)
+    _guard = alloc.malloc(16)
+    alloc.free(big)
+    small = alloc.malloc(32)
+    assert small == big                # carved from the freed chunk
+    remainders = list(alloc.iter_free_chunks())
+    assert len(remainders) == 1
+    assert remainders[0].size == (512 + HEADER_SIZE) - \
+        (32 + HEADER_SIZE)
+
+
+def test_double_free_aborts(alloc):
+    a = alloc.malloc(64)
+    alloc.free(a)
+    with pytest.raises(HeapCorruptionFault):
+        alloc.free(a)
+
+
+def test_wild_free_aborts(alloc):
+    alloc.malloc(64)
+    with pytest.raises(HeapCorruptionFault):
+        alloc.free(alloc.mem.base + 8)
+
+
+def test_free_detects_smashed_header(alloc):
+    a = alloc.malloc(64)
+    b = alloc.malloc(64)
+    _guard = alloc.malloc(16)
+    # overflow a into b's header
+    alloc.mem.fill(a + 64, 0x41, HEADER_SIZE)
+    with pytest.raises(HeapCorruptionFault):
+        alloc.free(b)
+
+
+def test_binned_chunk_with_smashed_header_detected_on_reuse(alloc):
+    a = alloc.malloc(64)
+    b = alloc.malloc(64)
+    _guard = alloc.malloc(16)
+    alloc.free(b)                      # b sits in a bin
+    alloc.mem.fill(a + 64, 0x41, HEADER_SIZE)  # overflow smashes it
+    with pytest.raises(HeapCorruptionFault):
+        alloc.malloc(64)               # pop validates and aborts
+
+
+def test_oom_raises(mem_limit=4 * PAGE_SIZE):
+    alloc = LeaAllocator(Memory(limit=mem_limit))
+    alloc.malloc(2 * PAGE_SIZE)
+    with pytest.raises(OutOfMemoryFault):
+        alloc.malloc(4 * PAGE_SIZE)
+
+
+def test_negative_malloc_rejected(alloc):
+    with pytest.raises(HeapCorruptionFault):
+        alloc.malloc(-1)
+
+
+def test_statistics(alloc):
+    a = alloc.malloc(100)
+    b = alloc.malloc(50)
+    assert alloc.n_mallocs == 2
+    assert alloc.live_user_bytes == alloc.usable_size(a) + \
+        alloc.usable_size(b)
+    alloc.free(a)
+    assert alloc.n_frees == 1
+    assert alloc.live_user_bytes == alloc.usable_size(b)
+    assert alloc.peak_heap_bytes >= alloc.heap_used
+
+
+def test_large_allocations_use_sorted_list(alloc):
+    big1 = alloc.malloc(SMALL_MAX * 4)
+    _guard = alloc.malloc(16)
+    alloc.free(big1)
+    # best-fit: a smaller large request carves from it
+    big2 = alloc.malloc(SMALL_MAX * 2)
+    assert big2 == big1
+
+
+def test_snapshot_restore_roundtrip(alloc):
+    a = alloc.malloc(64)
+    b = alloc.malloc(128)
+    alloc.free(a)
+    snap = alloc.snapshot()
+    mem_snap = alloc.mem.snapshot()
+    c = alloc.malloc(64)
+    assert c == a
+    alloc.free(b)
+    alloc.restore(snap)
+    alloc.mem.restore(mem_snap)
+    # state is back: the freed chunk for `a` is available again
+    assert alloc.malloc(64) == a
+    assert alloc.usable_size(b) >= 128
+
+
+def test_min_chunk_enforced(alloc):
+    addr = alloc.malloc(1)
+    chunk = ChunkView(alloc.mem, addr - HEADER_SIZE)
+    assert chunk.size >= MIN_CHUNK

@@ -1,0 +1,122 @@
+"""Property-based tests for the allocator: arbitrary alloc/free
+sequences must preserve the heap's structural invariants."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.heap.allocator import LeaAllocator
+from repro.heap.base import Memory
+from repro.heap.chunk import ALIGN, HEADER_SIZE, MIN_CHUNK, ChunkView
+
+# An operation script: positive = malloc of that size,
+# negative index = free the i-th oldest live allocation.
+ops_strategy = st.lists(
+    st.one_of(
+        st.integers(min_value=1, max_value=700),     # malloc size
+        st.just(-1),                                 # free oldest
+        st.just(-2),                                 # free newest
+    ),
+    min_size=1, max_size=120)
+
+
+def run_script(ops: List[int]):
+    alloc = LeaAllocator(Memory())
+    live: Dict[int, int] = {}   # addr -> user size
+    order: List[int] = []
+    for op in ops:
+        if op > 0:
+            addr = alloc.malloc(op)
+            live[addr] = op
+            order.append(addr)
+        elif order:
+            addr = order.pop(0 if op == -1 else -1)
+            del live[addr]
+            alloc.free(addr)
+    return alloc, live
+
+
+def check_invariants(alloc: LeaAllocator, live: Dict[int, int]):
+    mem = alloc.mem
+    # 1. live allocations are disjoint and inside the heap
+    spans = sorted((addr, addr + size) for addr, size in live.items())
+    for (a0, a1), (b0, _b1) in zip(spans, spans[1:]):
+        assert a1 <= b0, "live objects overlap"
+    for addr, size in live.items():
+        assert mem.base < addr and addr + size <= alloc.top
+        assert addr % ALIGN == 0
+        assert alloc.usable_size(addr) >= size
+        header = ChunkView(mem, addr - HEADER_SIZE)
+        assert header.in_use
+        assert header.size >= MIN_CHUNK
+    # 2. free chunks are sane, disjoint from live objects and each other
+    free_spans = []
+    for chunk in alloc.iter_free_chunks():
+        assert not chunk.in_use
+        assert chunk.size >= MIN_CHUNK
+        assert chunk.size % ALIGN == 0
+        assert mem.base <= chunk.addr
+        assert chunk.next_addr <= alloc.top
+        free_spans.append((chunk.addr, chunk.next_addr))
+    all_spans = sorted(free_spans
+                       + [(a - HEADER_SIZE, a + alloc.usable_size(a))
+                          for a in live])
+    for (a0, a1), (b0, _b1) in zip(all_spans, all_spans[1:]):
+        assert a1 <= b0, "chunk spans overlap"
+    # 3. accounting
+    assert alloc.live_user_bytes == sum(alloc.usable_size(a)
+                                        for a in live)
+    assert alloc.top <= mem.brk
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops_strategy)
+def test_invariants_hold_after_any_script(ops):
+    alloc, live = run_script(ops)
+    check_invariants(alloc, live)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy)
+def test_full_free_returns_heap_to_wilderness(ops):
+    alloc, live = run_script(ops)
+    for addr in list(live):
+        alloc.free(addr)
+    # everything freed: coalescing must leave at most the chunks that
+    # could not merge with top (i.e. none, since all merge eventually)
+    assert alloc.live_user_bytes == 0
+    # all remaining free chunks + wilderness account for the heap
+    free_bytes = sum(c.size for c in alloc.iter_free_chunks())
+    assert free_bytes + (alloc.mem.brk - alloc.top) == \
+        alloc.mem.brk - alloc.mem.base
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy, st.integers(min_value=1, max_value=600))
+def test_snapshot_restore_is_transparent(ops, size):
+    alloc, live = run_script(ops)
+    snap = alloc.snapshot()
+    mem_snap = alloc.mem.snapshot()
+    first = alloc.malloc(size)
+    alloc.restore(snap)
+    alloc.mem.restore(mem_snap)
+    second = alloc.malloc(size)
+    assert first == second  # identical decision after restore
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=256),
+                min_size=1, max_size=40))
+def test_malloc_free_malloc_same_size_reuses(sizes):
+    alloc = LeaAllocator(Memory())
+    addrs = [alloc.malloc(s) for s in sizes]
+    first_footprint = alloc.heap_used
+    for addr in addrs:
+        alloc.free(addr)
+    # the same sequence again must fit in the first round's footprint
+    again = [alloc.malloc(s) for s in sizes]
+    assert alloc.heap_used <= first_footprint
+    for addr in again:
+        alloc.free(addr)

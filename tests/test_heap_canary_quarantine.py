@@ -1,0 +1,116 @@
+"""Unit tests for canary helpers and the delay-free quarantine."""
+
+import pytest
+
+from repro.heap.base import Memory, PAGE_SIZE
+from repro.heap.canary import (
+    CANARY_BYTE,
+    CANARY_WORD,
+    canary_fill,
+    canary_intact,
+    corrupted_offsets,
+)
+from repro.heap.quarantine import DelayFreeQuarantine
+
+
+@pytest.fixture
+def mem():
+    m = Memory()
+    m.sbrk(PAGE_SIZE)
+    return m
+
+
+class TestCanary:
+    def test_fill_and_intact(self, mem):
+        canary_fill(mem, mem.base, 64)
+        assert canary_intact(mem, mem.base, 64)
+
+    def test_word_value_faults_as_pointer(self, mem):
+        canary_fill(mem, mem.base, 8)
+        value = mem.read_uint(mem.base, 8)
+        assert value == CANARY_WORD
+        assert not mem.is_mapped(value)  # deref would SIGSEGV
+
+    def test_corruption_detected_with_offsets(self, mem):
+        canary_fill(mem, mem.base, 64)
+        mem.write_bytes(mem.base + 10, b"zz")
+        assert not canary_intact(mem, mem.base, 64)
+        assert corrupted_offsets(mem, mem.base, 64) == [10, 11]
+
+    def test_write_of_canary_byte_is_invisible(self, mem):
+        # the documented theoretical limitation: writing the canary
+        # value itself is undetectable
+        canary_fill(mem, mem.base, 16)
+        mem.write_bytes(mem.base, bytes([CANARY_BYTE]))
+        assert canary_intact(mem, mem.base, 16)
+
+    def test_empty_region(self, mem):
+        assert canary_intact(mem, mem.base, 0)
+        assert corrupted_offsets(mem, mem.base, 0) == []
+
+
+class TestQuarantine:
+    def make(self, threshold=1000):
+        released = []
+        q = DelayFreeQuarantine(released.append, threshold)
+        return q, released
+
+    def test_add_and_contains(self):
+        q, released = self.make()
+        q.add(0x1000, 100, None, canary_filled=False)
+        assert q.contains(0x1000)
+        assert not q.contains(0x2000)
+        assert q.current_bytes == 100
+        assert released == []
+
+    def test_duplicate_add_rejected(self):
+        q, _ = self.make()
+        q.add(0x1000, 100, None, False)
+        with pytest.raises(KeyError):
+            q.add(0x1000, 50, None, False)
+
+    def test_fifo_eviction_at_threshold(self):
+        q, released = self.make(threshold=250)
+        q.add(0x1000, 100, None, False)
+        q.add(0x2000, 100, None, False)
+        q.add(0x3000, 100, None, False)   # 300 > 250: evict oldest
+        assert released == [0x1000]
+        assert not q.contains(0x1000)
+        assert q.current_bytes == 200
+        assert q.evictions == 1
+
+    def test_accumulated_bytes_monotonic(self):
+        q, _ = self.make(threshold=150)
+        q.add(0x1000, 100, None, False)
+        q.add(0x2000, 100, None, False)   # evicts the first
+        assert q.accumulated_bytes == 200  # still counts both
+
+    def test_find_containing(self):
+        q, _ = self.make()
+        q.add(0x1000, 100, None, False)
+        assert q.find_containing(0x1000).user_addr == 0x1000
+        assert q.find_containing(0x1063).user_addr == 0x1000
+        assert q.find_containing(0x1064) is None
+        assert q.find_containing(0xFFF) is None
+
+    def test_drain(self):
+        q, released = self.make()
+        q.add(0x1000, 10, None, False)
+        q.add(0x2000, 10, None, False)
+        drained = q.drain()
+        assert [o.user_addr for o in drained] == [0x1000, 0x2000]
+        assert released == [0x1000, 0x2000]
+        assert len(q) == 0
+        assert q.current_bytes == 0
+
+    def test_snapshot_restore(self):
+        q, released = self.make(threshold=10_000)
+        q.add(0x1000, 10, None, True)
+        snap = q.snapshot()
+        q.add(0x2000, 10, None, False)
+        q.restore(snap)
+        assert q.contains(0x1000)
+        assert not q.contains(0x2000)
+        assert q.current_bytes == 10
+        # restore must not have triggered releases
+        assert released == []

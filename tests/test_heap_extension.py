@@ -1,0 +1,294 @@
+"""Unit tests for the allocator extension (normal / diagnostic /
+validation modes, changes, manifestation evidence, access tracing)."""
+
+import pytest
+
+from repro.errors import HeapCorruptionFault
+from repro.heap.allocator import LeaAllocator
+from repro.heap.base import Memory
+from repro.heap.canary import CANARY_BYTE
+from repro.heap.extension import (
+    AllocDecision,
+    AllocatorExtension,
+    ChangePolicy,
+    ExtensionMode,
+    FreeDecision,
+    METADATA_BYTES,
+    ObjectState,
+    PAD_POST,
+    PAD_PRE,
+)
+from repro.util.callsite import CallSite
+
+SITE_A = CallSite([("alloc_site", 1), ("main", 10)])
+SITE_F = CallSite([("free_site", 2), ("main", 20)])
+
+
+class FixedPolicy(ChangePolicy):
+    """Returns fixed decisions, recording calls."""
+
+    def __init__(self, alloc=None, free=None):
+        self.alloc_decision = alloc or AllocDecision.plain()
+        self.free_decision = free or FreeDecision.plain()
+
+    def on_alloc(self, callsite):
+        return self.alloc_decision
+
+    def on_free(self, callsite, user_addr):
+        return self.free_decision
+
+
+def make_ext(policy=None, mode=ExtensionMode.DIAGNOSTIC):
+    mem = Memory()
+    alloc = LeaAllocator(mem)
+    return AllocatorExtension(mem, alloc, mode, policy)
+
+
+class TestOffMode:
+    def test_passthrough(self):
+        ext = make_ext(mode=ExtensionMode.OFF)
+        addr = ext.malloc(64, None)
+        assert ext.object_at(addr) is None        # nothing tracked
+        ext.free(addr, None)
+        assert ext.metadata_bytes == 0
+
+
+class TestPlainTracking:
+    def test_object_info_recorded(self):
+        ext = make_ext()
+        addr = ext.malloc(100, SITE_A)
+        obj = ext.object_at(addr)
+        assert obj.user_size == 100
+        assert obj.alloc_site == SITE_A
+        assert obj.state is ObjectState.LIVE
+        assert ext.metadata_bytes == METADATA_BYTES
+
+    def test_free_updates_state_and_metadata(self):
+        ext = make_ext()
+        addr = ext.malloc(100, SITE_A)
+        ext.free(addr, SITE_F)
+        obj = ext.object_at(addr)
+        assert obj.state is ObjectState.FREED
+        assert obj.free_site == SITE_F
+        assert ext.metadata_bytes == 0
+
+    def test_find_object_by_interior_pointer(self):
+        ext = make_ext()
+        addr = ext.malloc(100, SITE_A)
+        assert ext.find_object(addr + 50).user_addr == addr
+        assert ext.find_object(addr + 100 + 64) is None
+
+
+class TestPadding:
+    def test_padding_geometry(self):
+        policy = FixedPolicy(alloc=AllocDecision(
+            pad_pre=PAD_PRE, pad_post=PAD_POST, canary_pad=True))
+        ext = make_ext(policy)
+        addr = ext.malloc(64, SITE_A)
+        obj = ext.object_at(addr)
+        assert obj.user_addr == obj.block_addr + PAD_PRE
+        assert obj.block_size >= PAD_PRE + 64 + PAD_POST
+        # paddings hold the canary, the payload does not get filled
+        assert ext.mem.read_bytes(obj.block_addr, 8) == \
+            bytes([CANARY_BYTE]) * 8
+
+    def test_overflow_into_padding_detected(self):
+        policy = FixedPolicy(alloc=AllocDecision(
+            pad_pre=PAD_PRE, pad_post=PAD_POST, canary_pad=True))
+        ext = make_ext(policy)
+        addr = ext.malloc(64, SITE_A)
+        ext.mem.write_bytes(addr + 64, b"OVERFLOW")   # past the object
+        man = ext.scan_manifestations()
+        assert len(man.overflow_hits) == 1
+        hit = man.overflow_hits[0]
+        assert hit.side == "post"
+        assert hit.alloc_site == SITE_A
+        assert hit.offsets[0] == 0
+
+    def test_underflow_detected_on_pre_pad(self):
+        policy = FixedPolicy(alloc=AllocDecision(
+            pad_pre=PAD_PRE, pad_post=PAD_POST, canary_pad=True))
+        ext = make_ext(policy)
+        addr = ext.malloc(64, SITE_A)
+        ext.mem.write_bytes(addr - 4, b"zz")
+        man = ext.scan_manifestations()
+        assert any(h.side == "pre" for h in man.overflow_hits)
+
+    def test_overflow_evidence_survives_quarantined_free(self):
+        policy = FixedPolicy(
+            alloc=AllocDecision(pad_pre=PAD_PRE, pad_post=PAD_POST,
+                                canary_pad=True),
+            free=FreeDecision(delay=True))
+        ext = make_ext(policy)
+        addr = ext.malloc(64, SITE_A)
+        ext.mem.write_bytes(addr + 64, b"X")
+        ext.free(addr, SITE_F)
+        man = ext.scan_manifestations()
+        assert len(man.overflow_hits) == 1
+
+    def test_clean_padding_reports_nothing(self):
+        policy = FixedPolicy(alloc=AllocDecision(
+            pad_pre=PAD_PRE, pad_post=PAD_POST, canary_pad=True))
+        ext = make_ext(policy)
+        addr = ext.malloc(64, SITE_A)
+        ext.mem.write_bytes(addr, b"A" * 64)   # in-bounds writes only
+        man = ext.scan_manifestations()
+        assert not man.any()
+
+
+class TestFills:
+    def test_zero_fill(self):
+        ext = make_ext(FixedPolicy(alloc=AllocDecision(fill="zero")))
+        a = ext.malloc(64, SITE_A)
+        ext.mem.write_bytes(a, b"junk")
+        ext.free(a, SITE_F)
+        b = ext.malloc(64, SITE_A)
+        assert b == a
+        assert ext.mem.read_bytes(b, 64) == b"\x00" * 64
+
+    def test_canary_fill_on_alloc(self):
+        ext = make_ext(FixedPolicy(alloc=AllocDecision(fill="canary")))
+        a = ext.malloc(32, SITE_A)
+        assert ext.mem.read_bytes(a, 32) == bytes([CANARY_BYTE]) * 32
+
+
+class TestDelayFree:
+    def test_delayed_object_keeps_contents(self):
+        ext = make_ext(FixedPolicy(free=FreeDecision(delay=True)))
+        a = ext.malloc(64, SITE_A)
+        ext.mem.write_bytes(a, b"keepme")
+        ext.free(a, SITE_F)
+        assert ext.object_at(a).state is ObjectState.QUARANTINED
+        assert ext.mem.read_bytes(a, 6) == b"keepme"
+        # the allocator did NOT get the chunk back
+        b = ext.malloc(64, SITE_A)
+        assert b != a
+
+    def test_canary_fill_on_delayed_free(self):
+        ext = make_ext(FixedPolicy(
+            free=FreeDecision(delay=True, canary_fill=True)))
+        a = ext.malloc(64, SITE_A)
+        ext.mem.write_bytes(a, b"data")
+        ext.free(a, SITE_F)
+        assert ext.mem.read_bytes(a, 64) == bytes([CANARY_BYTE]) * 64
+
+    def test_dangling_write_detected(self):
+        ext = make_ext(FixedPolicy(
+            free=FreeDecision(delay=True, canary_fill=True)))
+        a = ext.malloc(64, SITE_A)
+        ext.free(a, SITE_F)
+        ext.mem.write_bytes(a + 8, b"WRITE")   # stale write
+        man = ext.scan_manifestations()
+        assert len(man.dangling_write_hits) == 1
+        assert man.dangling_write_hits[0].free_site == SITE_F
+
+    def test_quarantine_eviction_really_frees(self):
+        ext = make_ext(FixedPolicy(free=FreeDecision(delay=True)))
+        ext.quarantine.threshold_bytes = 100
+        a = ext.malloc(64, SITE_A)
+        ext.free(a, SITE_F)
+        b = ext.malloc(64, SITE_A)
+        ext.free(b, SITE_F)          # pushes bytes over 100: a evicted
+        assert ext.object_at(a).state is ObjectState.FREED
+        assert ext.object_at(b).state is ObjectState.QUARANTINED
+
+
+class TestDoubleFree:
+    def test_unprotected_double_free_crashes(self):
+        ext = make_ext(FixedPolicy())
+        a = ext.malloc(64, SITE_A)
+        ext.free(a, SITE_F)
+        with pytest.raises(HeapCorruptionFault):
+            ext.free(a, SITE_F)
+
+    def test_param_check_swallows_and_records(self):
+        ext = make_ext(FixedPolicy(
+            free=FreeDecision(delay=True, check_param=True)))
+        a = ext.malloc(64, SITE_A)
+        ext.free(a, SITE_F)
+        ext.free(a, SITE_F)          # swallowed
+        man = ext.scan_manifestations()
+        assert len(man.double_free_events) == 1
+        event = man.double_free_events[0]
+        assert event.first_site == SITE_F
+
+    def test_second_free_of_quarantined_always_intercepted(self):
+        # even without check_param: the allocator does not own the chunk
+        ext = make_ext(FixedPolicy(free=FreeDecision(delay=True)))
+        a = ext.malloc(64, SITE_A)
+        ext.free(a, SITE_F)
+        ext.free(a, SITE_F)
+        assert len(ext.scan_manifestations().double_free_events) == 1
+
+
+class TestAccessTracing:
+    def make_tracing(self, policy):
+        ext = make_ext(policy, mode=ExtensionMode.VALIDATION)
+        return ext
+
+    def test_overflow_write_traced(self):
+        ext = self.make_tracing(FixedPolicy(alloc=AllocDecision(
+            pad_pre=PAD_PRE, pad_post=PAD_POST, canary_pad=True,
+            patch_id=9)))
+        a = ext.malloc(64, SITE_A)
+        ext.note_access(a + 64, 8, True, ("fn", 5))
+        assert len(ext.illegal_accesses) == 1
+        acc = ext.illegal_accesses[0]
+        assert acc.kind == "overflow-write"
+        assert acc.offset == 64
+        assert acc.patch_id == 9
+
+    def test_dangling_access_traced(self):
+        ext = self.make_tracing(FixedPolicy(
+            free=FreeDecision(delay=True, patch_id=4)))
+        a = ext.malloc(64, SITE_A)
+        ext.free(a, SITE_F)
+        ext.note_access(a + 8, 8, False, ("fn", 7))
+        ext.note_access(a + 16, 8, True, ("fn", 8))
+        kinds = [x.kind for x in ext.illegal_accesses]
+        assert kinds == ["dangling-read", "dangling-write"]
+        assert all(x.patch_id == 4 for x in ext.illegal_accesses)
+
+    def test_read_before_init_traced(self):
+        ext = self.make_tracing(FixedPolicy(alloc=AllocDecision(
+            fill="zero", patch_id=2)))
+        a = ext.malloc(64, SITE_A)
+        ext.note_access(a, 8, True, ("fn", 1))     # init bytes 0..8
+        ext.note_access(a, 8, False, ("fn", 2))    # ok: initialized
+        ext.note_access(a + 8, 8, False, ("fn", 3))  # uninit read!
+        kinds = [x.kind for x in ext.illegal_accesses]
+        assert kinds == ["uninit-read"]
+        assert ext.illegal_accesses[0].offset == 8
+
+    def test_inbounds_access_not_traced(self):
+        ext = self.make_tracing(FixedPolicy())
+        a = ext.malloc(64, SITE_A)
+        ext.note_access(a, 8, True, ("fn", 1))
+        ext.note_access(a, 8, False, ("fn", 2))
+        assert ext.illegal_accesses == []
+
+
+class TestSnapshotRestore:
+    def test_full_roundtrip(self):
+        ext = make_ext(FixedPolicy(
+            free=FreeDecision(delay=True, canary_fill=True)))
+        a = ext.malloc(64, SITE_A)
+        snap = ext.snapshot()
+        mem_snap = ext.mem.snapshot()
+        alloc_snap = ext.allocator.snapshot()
+        ext.free(a, SITE_F)
+        ext.mem.write_bytes(a, b"X")
+        assert ext.scan_manifestations().any()
+        ext.restore(snap)
+        ext.mem.restore(mem_snap)
+        ext.allocator.restore(alloc_snap)
+        assert ext.object_at(a).state is ObjectState.LIVE
+        assert not ext.scan_manifestations().any()
+
+    def test_mm_trace_recording(self):
+        ext = make_ext(FixedPolicy())
+        ext.trace_mm = True
+        a = ext.malloc(32, SITE_A)
+        ext.free(a, SITE_F)
+        assert [e.op for e in ext.mm_trace] == ["malloc", "free"]
+        assert ext.mm_trace[0].user_addr == a

@@ -1,0 +1,133 @@
+"""Unit tests for the simulated memory segment."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.heap.base import HEAP_BASE, PAGE_SIZE, Memory
+
+
+def test_initially_unmapped():
+    mem = Memory()
+    assert mem.brk == mem.base
+    with pytest.raises(SegmentationFault):
+        mem.read_bytes(mem.base, 1)
+
+
+def test_sbrk_grows_in_pages():
+    mem = Memory()
+    old = mem.sbrk(1)
+    assert old == mem.base
+    assert mem.brk == mem.base + PAGE_SIZE
+    mem.sbrk(PAGE_SIZE + 1)
+    assert mem.brk == mem.base + 3 * PAGE_SIZE
+
+
+def test_sbrk_respects_limit():
+    mem = Memory(limit=2 * PAGE_SIZE)
+    assert mem.sbrk(PAGE_SIZE) >= 0
+    assert mem.sbrk(PAGE_SIZE) >= 0
+    assert mem.sbrk(1) == -1  # over the limit
+
+
+def test_fresh_pages_are_zero():
+    mem = Memory()
+    mem.sbrk(PAGE_SIZE)
+    assert mem.read_bytes(mem.base, 16) == b"\x00" * 16
+
+
+def test_read_write_roundtrip():
+    mem = Memory()
+    mem.sbrk(PAGE_SIZE)
+    mem.write_bytes(mem.base + 10, b"hello")
+    assert mem.read_bytes(mem.base + 10, 5) == b"hello"
+
+
+def test_uint_little_endian():
+    mem = Memory()
+    mem.sbrk(PAGE_SIZE)
+    mem.write_uint(mem.base, 8, 0x1122334455667788)
+    assert mem.read_bytes(mem.base, 2) == b"\x88\x77"
+    assert mem.read_uint(mem.base, 8) == 0x1122334455667788
+    assert mem.read_uint(mem.base, 4) == 0x55667788
+
+
+def test_uint_wraps_at_size():
+    mem = Memory()
+    mem.sbrk(PAGE_SIZE)
+    mem.write_uint(mem.base, 1, 0x1FF)
+    assert mem.read_uint(mem.base, 1) == 0xFF
+
+
+def test_null_and_low_addresses_fault():
+    mem = Memory()
+    mem.sbrk(PAGE_SIZE)
+    for addr in (0, 1, 4096, HEAP_BASE - 1):
+        with pytest.raises(SegmentationFault):
+            mem.read_uint(addr, 8)
+
+
+def test_access_straddling_brk_faults():
+    mem = Memory()
+    mem.sbrk(PAGE_SIZE)
+    with pytest.raises(SegmentationFault):
+        mem.read_bytes(mem.brk - 4, 8)
+    # but exactly up to brk is fine
+    assert mem.read_bytes(mem.brk - 8, 8) == b"\x00" * 8
+
+
+def test_fault_carries_address():
+    mem = Memory()
+    try:
+        mem.read_uint(0xDEAD, 8)
+    except SegmentationFault as fault:
+        assert fault.address == 0xDEAD
+    else:
+        pytest.fail("expected SegmentationFault")
+
+
+def test_fill_and_copy_within():
+    mem = Memory()
+    mem.sbrk(PAGE_SIZE)
+    mem.fill(mem.base, 0xAB, 32)
+    assert mem.read_bytes(mem.base, 32) == b"\xab" * 32
+    mem.copy_within(mem.base + 100, mem.base, 32)
+    assert mem.read_bytes(mem.base + 100, 32) == b"\xab" * 32
+
+
+def test_dirty_page_tracking():
+    mem = Memory()
+    mem.sbrk(4 * PAGE_SIZE)
+    mem.clear_dirty()
+    assert mem.dirty_page_count == 0
+    mem.write_uint(mem.base, 8, 1)
+    assert mem.dirty_pages == frozenset({0})
+    # a write straddling two pages dirties both
+    mem.write_bytes(mem.base + PAGE_SIZE - 2, b"abcd")
+    assert mem.dirty_pages == frozenset({0, 1})
+    mem.clear_dirty()
+    assert mem.dirty_page_count == 0
+
+
+def test_reads_do_not_dirty():
+    mem = Memory()
+    mem.sbrk(PAGE_SIZE)
+    mem.clear_dirty()
+    mem.read_bytes(mem.base, 64)
+    assert mem.dirty_page_count == 0
+
+
+def test_snapshot_restore_roundtrip():
+    mem = Memory()
+    mem.sbrk(PAGE_SIZE)
+    mem.write_bytes(mem.base, b"state-one")
+    snap = mem.snapshot()
+    mem.write_bytes(mem.base, b"state-two")
+    mem.sbrk(PAGE_SIZE)
+    mem.restore(snap)
+    assert mem.read_bytes(mem.base, 9) == b"state-one"
+    assert mem.brk == mem.base + PAGE_SIZE
+
+
+def test_unaligned_base_rejected():
+    with pytest.raises(ValueError):
+        Memory(base=1000)

@@ -1,0 +1,216 @@
+"""Cross-cutting integration scenarios."""
+
+import pytest
+
+from repro.core.bugtypes import BugType
+from repro.core.runtime import FirstAidConfig, FirstAidRuntime
+from repro.errors import (
+    OutOfMemoryFault,
+    SegmentationFault,
+    SimulatedFault,
+)
+from repro.heap.extension import ExtensionMode
+from repro.lang import compile_program
+from repro.process import Process
+from repro.vm.machine import RunReason
+
+TWO_BUGS_SERVER = """
+// two *different* bugs behind two different request types
+int victim = 0;
+int target = 0;
+int cache = 0;
+int anchor = 0;
+
+int oversized_copy(int n) {
+    int buf = malloc(32);
+    int i = 0;
+    while (i < n) { store1(buf + i, 65); i = i + 1; }
+    free(buf);
+    return 0;
+}
+
+int drop_cache(int p) { free(p); return 0; }
+
+int main() {
+    int hole = malloc(32);
+    victim = malloc(48);
+    target = malloc(48);
+    anchor = malloc(64);
+    store(target, 0);
+    store(victim, target);
+    store(anchor, 1);
+    free(hole);
+    while (1) {
+        int op = input();
+        if (op == 0) { halt(); }
+        if (op == 1) {
+            oversized_copy(8);           // safe length
+        }
+        if (op == 2) {
+            oversized_copy(64);          // BUG 1: overflow
+        }
+        if (op == 3) {
+            int obj = malloc(40);
+            store(obj, anchor);
+            cache = obj;
+        }
+        if (op == 4) {
+            drop_cache(cache);           // BUG 2 setup: cache dangles
+        }
+        if (op == 5) {
+            int reuse = malloc(40);
+            store(reuse, 7);
+            int p = load(cache);         // stale read
+            store(p, load(p) + 1);
+        }
+        int t = load(victim);
+        store(t, load(t) + 1);
+        output(1);
+    }
+}
+"""
+
+
+def test_two_distinct_bugs_two_recoveries():
+    """An overflow failure, recovery, then later a dangling-read
+    failure from a different bug: two independent diagnoses, both
+    patched, both prevented on re-trigger."""
+    # spacing > failure window (3 x 2000 instrs; a request is ~30
+    # instrs) so the two bugs fail independently
+    gap = 400
+    tokens = [1] * 10
+    tokens += [2]                       # overflow trigger
+    tokens += [1] * gap
+    tokens += [3, 1, 4, 5]              # dangling-read trigger
+    tokens += [1] * gap
+    tokens += [2]                       # overflow again: patched
+    tokens += [3, 1, 4, 5]              # dangling again: patched
+    tokens += [1] * 10 + [0]
+    program = compile_program(TWO_BUGS_SERVER, "twobugs")
+    runtime = FirstAidRuntime(
+        program, input_tokens=tokens,
+        config=FirstAidConfig(checkpoint_interval=2000))
+    session = runtime.run()
+    assert session.reason == "halt"
+    assert len(session.recoveries) == 2
+    first, second = session.recoveries
+    assert first.diagnosis.bug_types == [BugType.BUFFER_OVERFLOW]
+    assert second.diagnosis.bug_types == [BugType.DANGLING_READ]
+    assert session.survived_all
+    assert len(runtime.pool) == 2
+
+
+def test_quarantine_stays_bounded_under_patch():
+    """A delay-free patch on a hot free site must not grow memory
+    without bound: the quarantine threshold evicts the oldest."""
+    source = """
+    int cache = 0;
+    int anchor = 0;
+    int release(int p) { free(p); return 0; }
+    int main() {
+        anchor = malloc(64);
+        store(anchor, 1);
+        while (1) {
+            int op = input();
+            if (op == 0) { halt(); }
+            if (op == 1) {               // create a cache entry
+                int obj = malloc(512);
+                store(obj, anchor);
+                cache = obj;
+            }
+            if (op == 2) {               // buggy free: cache dangles
+                release(cache);
+            }
+            if (op == 3) {               // clobber the freed chunk
+                int junk = malloc(512);
+                store(junk, 7);
+            }
+            if (op == 4) {               // stale read
+                int p = load(cache);
+                store(p, load(p) + 1);
+            }
+            output(1);
+        }
+    }
+    """
+    program = compile_program(source, "quarantine-bound")
+    threshold = 16 * 1024
+    tokens = [1] * 10 + [1, 2, 3, 4] + [1, 2] * 400 + [0]
+    runtime = FirstAidRuntime(
+        program, input_tokens=tokens,
+        config=FirstAidConfig(checkpoint_interval=2000,
+                              quarantine_threshold=threshold))
+    session = runtime.run()
+    assert session.reason == "halt"
+    assert len(session.recoveries) == 1
+    quarantine = runtime.process.extension.quarantine
+    assert quarantine.current_bytes <= threshold
+    assert quarantine.evictions > 0
+    # accumulated (Table 5 metric) keeps counting past the threshold
+    assert quarantine.accumulated_bytes > threshold
+
+
+def test_oom_is_a_catchable_failure():
+    source = """
+    int main() {
+        int i = 0;
+        while (1) {
+            int op = input();
+            if (op == 0) { halt(); }
+            int p = malloc(1000000);     // leak 1 MB per request
+            store(p, i);
+            i = i + 1;
+            output(1);
+        }
+    }
+    """
+    program = compile_program(source, "oom")
+    process = Process(program, input_tokens=[1] * 100 + [0],
+                      mode=ExtensionMode.NORMAL, heap_limit=4_000_000)
+    result = process.run()
+    assert result.reason is RunReason.FAULT
+    assert isinstance(result.fault, OutOfMemoryFault)
+
+
+def test_fault_describe_strings():
+    fault = SegmentationFault("boom", address=0x1234,
+                              instr_id=("fn", 7))
+    text = fault.describe()
+    assert "SIGSEGV" in text and "0x1234" in text and "fn+7" in text
+    base = SimulatedFault("generic")
+    assert "generic" in base.describe()
+
+
+def test_recovery_time_excludes_validation_time():
+    """Validation runs on a clone with its own clock: the recovery
+    time must not include it (the paper runs validation in parallel)."""
+    from repro.apps.registry import get_app
+    from repro.bench.harness import run_first_aid
+    app = get_app("squid")
+    _rt, with_val, _ = run_first_aid(
+        app, triggers=1,
+        config=FirstAidConfig(validate=True))
+    _rt2, without_val, _ = run_first_aid(
+        app, triggers=1,
+        config=FirstAidConfig(validate=False))
+    a = with_val.recoveries[0].recovery_time_ns
+    b = without_val.recoveries[0].recovery_time_ns
+    assert a == pytest.approx(b, rel=0.01)
+    assert with_val.recoveries[0].validation.time_ns > 0
+
+
+def test_session_rerun_same_program_is_deterministic():
+    program = compile_program(TWO_BUGS_SERVER, "twobugs")
+    tokens = [1] * 10 + [2] + [1] * 60 + [0]
+
+    def run_once():
+        runtime = FirstAidRuntime(
+            program, input_tokens=tokens,
+            config=FirstAidConfig(checkpoint_interval=2000))
+        session = runtime.run()
+        rec = session.recoveries[0]
+        return (session.reason, len(session.recoveries),
+                rec.diagnosis.rollbacks, rec.recovery_time_ns,
+                [p.point for p in rec.diagnosis.patches])
+
+    assert run_once() == run_once()

@@ -1,0 +1,153 @@
+"""MiniC codegen details: evaluation order, nesting, literals."""
+
+from repro.vm.machine import RunReason
+from tests.conftest import make_machine
+
+
+def run_outputs(source, tokens=()):
+    machine = make_machine(source, tokens)
+    result = machine.run()
+    assert result.reason is RunReason.HALT, result
+    return machine.output.values()
+
+
+def test_hex_literals():
+    assert run_outputs("""
+        int main() {
+            output(0xFF);
+            output(0x10 + 0x01);
+            halt();
+        }
+    """) == [255, 17]
+
+
+def test_call_argument_evaluation_order():
+    assert run_outputs("""
+        int log = 0;
+        int step(int v) { log = log * 10 + v; return v; }
+        int three(int a, int b, int c) { return a * 100 + b * 10 + c; }
+        int main() {
+            int r = three(step(1), step(2), step(3));
+            output(r);
+            output(log);     // left-to-right: 123
+            halt();
+        }
+    """) == [123, 123]
+
+
+def test_nested_break_targets_inner_loop():
+    assert run_outputs("""
+        int main() {
+            int outer = 0;
+            int i = 0;
+            while (i < 3) {
+                int j = 0;
+                while (1) {
+                    j = j + 1;
+                    if (j >= 2) { break; }
+                }
+                outer = outer + j;
+                i = i + 1;
+            }
+            output(outer);
+            halt();
+        }
+    """) == [6]
+
+
+def test_continue_in_nested_loop():
+    assert run_outputs("""
+        int main() {
+            int count = 0;
+            int i = 0;
+            while (i < 4) {
+                i = i + 1;
+                int j = 0;
+                while (j < 4) {
+                    j = j + 1;
+                    if (j % 2 == 0) { continue; }
+                    count = count + 1;
+                }
+            }
+            output(count);
+            halt();
+        }
+    """) == [8]
+
+
+def test_global_initializer_order_and_negative():
+    assert run_outputs("""
+        int a = 5;
+        int b = -1;
+        int c;
+        int main() {
+            output(a);
+            output(b & 0xFF);    // two's complement low byte
+            output(c);
+            halt();
+        }
+    """) == [5, 255, 0]
+
+
+def test_unary_minus_in_expressions():
+    assert run_outputs("""
+        int main() {
+            int x = 10;
+            output((x + -3) & 0xFF);
+            output((-x + 11) & 0xFF);
+            halt();
+        }
+    """) == [7, 1]
+
+
+def test_complex_conditions():
+    assert run_outputs("""
+        int check(int v) {
+            if (v > 10 && v < 20 || v == 42) { return 1; }
+            return 0;
+        }
+        int main() {
+            output(check(15));
+            output(check(5));
+            output(check(42));
+            output(check(20));
+            halt();
+        }
+    """) == [1, 0, 1, 0]
+
+
+def test_while_condition_with_side_effect_function():
+    assert run_outputs("""
+        int n = 3;
+        int dec() { n = n - 1; return n; }
+        int main() {
+            int iterations = 0;
+            while (dec() > 0) {
+                iterations = iterations + 1;
+            }
+            output(iterations);
+            halt();
+        }
+    """) == [2]
+
+
+def test_deeply_nested_expressions():
+    assert run_outputs("""
+        int main() {
+            output(((1 + 2) * (3 + 4) - (5 - (6 - 7))) * 2);
+            halt();
+        }
+    """) == [(3 * 7 - (5 - (6 - 7))) * 2]
+
+
+def test_recursive_minic_function():
+    assert run_outputs("""
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() {
+            output(fib(12));
+            halt();
+        }
+    """) == [144]

@@ -1,0 +1,270 @@
+"""End-to-end MiniC semantics: compile and execute small programs,
+including a differential property test against Python evaluation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CompileError
+from repro.vm.machine import RunReason
+from tests.conftest import make_machine
+
+
+def run_outputs(source, tokens=()):
+    m = make_machine(source, tokens)
+    result = m.run()
+    assert result.reason is RunReason.HALT, result
+    return m.output.values()
+
+
+def test_arithmetic_precedence():
+    assert run_outputs("""
+        int main() {
+            output(2 + 3 * 4);        // 14
+            output((2 + 3) * 4);      // 20
+            output(10 - 2 - 3);       // left assoc: 5
+            output(100 / 10 / 2);     // 5
+            output(7 % 3);            // 1
+            halt();
+        }
+    """) == [14, 20, 5, 5, 1]
+
+
+def test_bitwise_and_shifts():
+    assert run_outputs("""
+        int main() {
+            output(12 & 10);
+            output(12 | 3);
+            output(12 ^ 10);
+            output(1 << 10);
+            output(1024 >> 3);
+            output(~0 & 255);
+            halt();
+        }
+    """) == [8, 15, 6, 1024, 128, 255]
+
+
+def test_comparisons_produce_01():
+    assert run_outputs("""
+        int main() {
+            output(3 < 4); output(4 < 3); output(3 <= 3);
+            output(3 > 2); output(3 >= 4); output(3 == 3);
+            output(3 != 3);
+            halt();
+        }
+    """) == [1, 0, 1, 1, 0, 1, 0]
+
+
+def test_short_circuit_does_not_evaluate_rhs():
+    assert run_outputs("""
+        int hits = 0;
+        int bump() { hits = hits + 1; return 1; }
+        int main() {
+            int a = 0 && bump();
+            output(a); output(hits);      // rhs skipped
+            int b = 1 || bump();
+            output(b); output(hits);      // rhs skipped
+            int c = 1 && bump();
+            output(c); output(hits);      // rhs evaluated
+            halt();
+        }
+    """) == [0, 0, 1, 0, 1, 1]
+
+
+def test_logical_not():
+    assert run_outputs("""
+        int main() {
+            output(!0); output(!5); output(!!7);
+            halt();
+        }
+    """) == [1, 0, 1]
+
+
+def test_while_with_break_continue():
+    assert run_outputs("""
+        int main() {
+            int i = 0;
+            int sum = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) { break; }
+                if (i % 2 == 0) { continue; }
+                sum = sum + i;        // odd numbers 1..9
+            }
+            output(sum);
+            halt();
+        }
+    """) == [25]
+
+
+def test_nested_loops():
+    assert run_outputs("""
+        int main() {
+            int total = 0;
+            int i = 0;
+            while (i < 4) {
+                int j = 0;
+                while (j < 3) {
+                    total = total + i * j;
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+            output(total);
+            halt();
+        }
+    """) == [18]
+
+
+def test_block_scoping_shadowing():
+    assert run_outputs("""
+        int main() {
+            int x = 1;
+            if (1) {
+                int x = 2;
+                output(x);
+            }
+            output(x);
+            halt();
+        }
+    """) == [2, 1]
+
+
+def test_sibling_blocks_can_redeclare():
+    assert run_outputs("""
+        int main() {
+            if (1) { int t = 5; output(t); }
+            if (1) { int t = 6; output(t); }
+            halt();
+        }
+    """) == [5, 6]
+
+
+def test_same_scope_redeclaration_rejected():
+    with pytest.raises(CompileError):
+        make_machine("int main() { int x = 1; int x = 2; }")
+
+
+def test_undeclared_variable_rejected():
+    with pytest.raises(CompileError):
+        make_machine("int main() { output(nope); }")
+
+
+def test_undeclared_assignment_rejected():
+    with pytest.raises(CompileError):
+        make_machine("int main() { nope = 3; }")
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(CompileError):
+        make_machine("int main() { whatisthis(1); }")
+
+
+def test_builtin_arity_checked():
+    with pytest.raises(CompileError):
+        make_machine("int main() { malloc(1, 2); }")
+
+
+def test_global_initializers_applied():
+    assert run_outputs("""
+        int counter = 41;
+        int main() {
+            counter = counter + 1;
+            output(counter);
+            halt();
+        }
+    """) == [42]
+
+
+def test_heap_builtins_roundtrip():
+    assert run_outputs("""
+        int main() {
+            int p = malloc(64);
+            store(p, 123456789);
+            store4(p, 16, 777);
+            store2(p, 24, 999);
+            store1(p, 26, 42);
+            output(load(p));
+            output(load4(p, 16));
+            output(load2(p, 24));
+            output(load1(p, 26));
+            memset(p, 7, 8);
+            output(load1(p, 3));
+            free(p);
+            halt();
+        }
+    """) == [123456789, 777, 999, 42, 7]
+
+
+def test_memcpy_builtin():
+    assert run_outputs("""
+        int main() {
+            int a = malloc(32);
+            int b = malloc(32);
+            store(a, 5555);
+            memcpy(b, a, 8);
+            output(load(b));
+            halt();
+        }
+    """) == [5555]
+
+
+def test_functions_call_each_other():
+    assert run_outputs("""
+        int is_even(int n) { return n % 2 == 0; }
+        int collatz_steps(int n) {
+            int steps = 0;
+            while (n != 1) {
+                if (is_even(n)) { n = n / 2; }
+                else { n = 3 * n + 1; }
+                steps = steps + 1;
+            }
+            return steps;
+        }
+        int main() {
+            output(collatz_steps(27));
+            halt();
+        }
+    """) == [111]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=1, max_value=10**6))
+def test_differential_arithmetic(a, b):
+    """MiniC arithmetic must agree with Python for nonnegative ints."""
+    source = f"""
+        int main() {{
+            int a = {a};
+            int b = {b};
+            output(a + b);
+            output(a * b);
+            output(a / b);
+            output(a % b);
+            output((a ^ b) & 0xFFFF);
+            output(a < b);
+            halt();
+        }}
+    """
+    expected = [a + b, a * b, a // b, a % b, (a ^ b) & 0xFFFF,
+                1 if a < b else 0]
+    assert run_outputs(source) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=1000),
+                min_size=0, max_size=20))
+def test_differential_sum_loop(values):
+    tokens = list(values) + [0]
+    source = """
+        int main() {
+            int total = 0;
+            while (1) {
+                int v = input();
+                if (v == 0) { break; }
+                total = total + v;
+            }
+            output(total);
+            halt();
+        }
+    """
+    assert run_outputs(source, tokens) == [sum(values)]

@@ -1,0 +1,128 @@
+"""Unit tests for the MiniC lexer and parser."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import ast as A
+from repro.lang.lexer import Lexer
+from repro.lang.parser import Parser
+
+
+def lex_kinds(source):
+    return [(t.kind, t.value) for t in Lexer(source).tokens()][:-1]
+
+
+class TestLexer:
+    def test_numbers(self):
+        assert lex_kinds("0 42 0x1F") == [
+            ("num", 0), ("num", 42), ("num", 31)]
+
+    def test_keywords_vs_identifiers(self):
+        assert lex_kinds("int foo while whilex") == [
+            ("kw", "int"), ("ident", "foo"), ("kw", "while"),
+            ("ident", "whilex")]
+
+    def test_two_char_punct_maximal_munch(self):
+        assert lex_kinds("a<=b == c << 1") == [
+            ("ident", "a"), ("punct", "<="), ("ident", "b"),
+            ("punct", "=="), ("ident", "c"), ("punct", "<<"),
+            ("num", 1)]
+
+    def test_comments_skipped(self):
+        src = "a // line comment\n /* block\ncomment */ b"
+        assert lex_kinds(src) == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError):
+            Lexer("a /* never ends").tokens()
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            Lexer("a $ b").tokens()
+
+    def test_ident_starting_with_digit_rejected(self):
+        with pytest.raises(CompileError):
+            Lexer("1abc").tokens()
+
+    def test_line_and_column_tracking(self):
+        tokens = Lexer("a\n  b").tokens()
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+class TestParser:
+    def parse(self, source):
+        return Parser(source).parse_module()
+
+    def test_globals_and_functions(self):
+        module = self.parse("int g = 5; int h; int main() { return g; }")
+        assert [(g.name, g.init) for g in module.globals] == [
+            ("g", 5), ("h", 0)]
+        assert module.functions[0].name == "main"
+
+    def test_negative_global_initializer(self):
+        module = self.parse("int g = -3; int main() { }")
+        assert module.globals[0].init == -3
+
+    def test_params(self):
+        module = self.parse("int f(int a, int b) { return a + b; } "
+                            "int main() { }")
+        assert module.functions[0].params == ["a", "b"]
+
+    def test_precedence(self):
+        module = self.parse("int main() { int x = 1 + 2 * 3; }")
+        init = module.functions[0].body[0].init
+        assert isinstance(init, A.BinaryOp) and init.op == "+"
+        assert isinstance(init.right, A.BinaryOp) and init.right.op == "*"
+
+    def test_comparison_binds_looser_than_shift(self):
+        module = self.parse("int main() { int x = 1 << 2 < 3; }")
+        init = module.functions[0].body[0].init
+        assert init.op == "<"
+        assert init.left.op == "<<"
+
+    def test_short_circuit_nodes(self):
+        module = self.parse("int main() { int x = a() && b() || c(); }")
+        init = module.functions[0].body[0].init
+        assert isinstance(init, A.ShortCircuit) and init.op == "||"
+        assert isinstance(init.left, A.ShortCircuit)
+        assert init.left.op == "&&"
+
+    def test_if_else_chain(self):
+        module = self.parse(
+            "int main() { if (1) { } else if (2) { } else { 7; } }")
+        node = module.functions[0].body[0]
+        assert isinstance(node, A.If)
+        nested = node.otherwise[0]
+        assert isinstance(nested, A.If)
+        assert isinstance(nested.otherwise[0], A.ExprStmt)
+
+    def test_while_break_continue(self):
+        module = self.parse(
+            "int main() { while (1) { break; continue; } }")
+        loop = module.functions[0].body[0]
+        assert isinstance(loop, A.While)
+        assert isinstance(loop.body[0], A.Break)
+        assert isinstance(loop.body[1], A.Continue)
+
+    def test_unary_ops(self):
+        module = self.parse("int main() { int x = !-~1; }")
+        init = module.functions[0].body[0].init
+        assert init.op == "!"
+        assert init.operand.op == "-"
+        assert init.operand.operand.op == "~"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError) as err:
+            self.parse("int main() { int x = 1 }")
+        assert "expected" in str(err.value)
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError):
+            self.parse("int main() { if (1) {")
+
+    def test_call_with_args(self):
+        module = self.parse("int main() { f(1, 2 + 3, g()); }")
+        call = module.functions[0].body[0].expr
+        assert isinstance(call, A.Call)
+        assert len(call.args) == 3

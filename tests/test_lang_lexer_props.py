@@ -1,0 +1,58 @@
+"""Property tests for the MiniC lexer (cheap explicit strategies --
+regex-based generation is far too slow under the pytest plugin)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.lexer import KEYWORDS, Lexer
+
+_FIRST = string.ascii_letters + "_"
+_REST = _FIRST + string.digits
+
+identifier = st.builds(
+    lambda head, tail: head + tail,
+    st.sampled_from(_FIRST),
+    st.text(alphabet=_REST, max_size=10),
+).filter(lambda s: s not in KEYWORDS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(identifier, min_size=1, max_size=15))
+def test_identifiers_roundtrip(names):
+    tokens = Lexer(" ".join(names)).tokens()
+    assert [t.value for t in tokens[:-1]] == names
+    assert all(t.kind == "ident" for t in tokens[:-1])
+    assert tokens[-1].kind == "eof"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**63),
+                min_size=1, max_size=15))
+def test_numbers_roundtrip(numbers):
+    tokens = Lexer(" ".join(str(n) for n in numbers)).tokens()
+    assert [t.value for t in tokens[:-1]] == numbers
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**32),
+                min_size=1, max_size=10))
+def test_hex_roundtrip(numbers):
+    tokens = Lexer(" ".join(hex(n) for n in numbers)).tokens()
+    assert [t.value for t in tokens[:-1]] == numbers
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(alphabet=" \t\n", max_size=30))
+def test_whitespace_only_is_eof(ws):
+    tokens = Lexer(ws).tokens()
+    assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(identifier, min_size=1, max_size=6))
+def test_comments_never_leak_tokens(names):
+    source = " ".join(names) + " // trailing " + " ".join(names) + "\n"
+    source += "/* block " + " ".join(names) + " */"
+    tokens = Lexer(source).tokens()
+    assert [t.value for t in tokens[:-1]] == names

@@ -1,0 +1,126 @@
+"""The memory-pressure failsafe (paper Section 2): when the extra
+memory held by runtime patches reaches a user-defined limit, First-Aid
+disables patching and releases the oldest delay-freed objects --
+trading reliability for memory, at the user's choice."""
+
+from repro.core.bugtypes import BugType
+from repro.core.patches import PatchPool, PatchPolicy
+from repro.heap.allocator import LeaAllocator
+from repro.heap.base import Memory
+from repro.heap.extension import AllocatorExtension, ExtensionMode
+from repro.util.callsite import CallSite
+from tests.conftest import site
+
+
+def make_patched_extension(limit=None, bug=BugType.DANGLING_READ):
+    mem = Memory()
+    alloc = LeaAllocator(mem)
+    pool = PatchPool("app")
+    free_site = site(("release", 1), ("main", 5))
+    alloc_site = site(("build", 2), ("main", 6))
+    pool.new_patch(bug, free_site if bug.patch_point == "free"
+                   else alloc_site)
+    ext = AllocatorExtension(mem, alloc, ExtensionMode.NORMAL,
+                             PatchPolicy(pool))
+    ext.patch_memory_limit = limit
+    return ext, alloc_site, free_site
+
+
+def test_unlimited_by_default():
+    ext, a_site, f_site = make_patched_extension(limit=None)
+    for _ in range(50):
+        addr = ext.malloc(256, a_site)
+        ext.free(addr, f_site)
+    assert not ext.patching_disabled
+    assert len(ext.quarantine) == 50
+
+
+def test_limit_disables_patching_and_releases_quarantine():
+    ext, a_site, f_site = make_patched_extension(limit=2048)
+    addrs = []
+    for _ in range(20):
+        addr = ext.malloc(256, a_site)
+        addrs.append(addr)
+        ext.free(addr, f_site)
+        if ext.patching_disabled:
+            break
+    assert ext.patching_disabled
+    # quarantine shrank to half the limit or below
+    assert ext.quarantine.current_bytes <= 1024
+    # further frees at the patched site are NOT delayed any more
+    fresh = ext.malloc(256, a_site)
+    ext.free(fresh, f_site)
+    obj = ext.object_at(fresh)
+    from repro.heap.extension import ObjectState
+    assert obj.state is ObjectState.FREED
+
+
+def test_padding_counts_toward_patch_memory():
+    ext, a_site, _ = make_patched_extension(
+        limit=3000, bug=BugType.BUFFER_OVERFLOW)
+    live = [ext.malloc(64, a_site) for _ in range(4)]
+    # 4 padded objects x 1016 B of padding > 3000 B limit
+    assert ext.patching_disabled
+    # new allocations at the patched site are no longer padded
+    plain = ext.malloc(64, a_site)
+    assert ext.object_at(plain).pad_pre == 0
+
+
+def test_patch_memory_bytes_accounting():
+    ext, a_site, f_site = make_patched_extension(limit=None)
+    assert ext.patch_memory_bytes == 0
+    addr = ext.malloc(100, a_site)
+    ext.free(addr, f_site)
+    assert ext.patch_memory_bytes == 100  # quarantined user bytes
+
+
+def test_failsafe_state_survives_snapshot_roundtrip():
+    ext, a_site, f_site = make_patched_extension(limit=512)
+    for _ in range(5):
+        addr = ext.malloc(256, a_site)
+        ext.free(addr, f_site)
+    assert ext.patching_disabled
+    snap = ext.snapshot()
+    ext.patching_disabled = False
+    ext.restore(snap)
+    assert ext.patching_disabled
+
+
+def test_runtime_config_plumbs_limit():
+    from repro.core.runtime import FirstAidConfig, FirstAidRuntime
+    from repro.lang import compile_program
+    source = """
+    int release(int p) { free(p); return 0; }
+    int cache = 0;
+    int anchor = 0;
+    int main() {
+        anchor = malloc(64);
+        store(anchor, 1);
+        while (1) {
+            int op = input();
+            if (op == 0) { halt(); }
+            int obj = malloc(512);
+            store(obj, anchor);
+            cache = obj;
+            release(obj);
+            if (op == 2) {
+                int junk = malloc(512);
+                store(junk, 7);
+                int p = load(cache);
+                store(p, load(p) + 1);
+            }
+            output(1);
+        }
+    }
+    """
+    program = compile_program(source, "pressure")
+    tokens = [1] * 10 + [2] + [1] * 300 + [0]
+    config = FirstAidConfig(checkpoint_interval=2000,
+                            max_patch_memory=8 * 1024)
+    runtime = FirstAidRuntime(program, input_tokens=tokens,
+                              config=config)
+    session = runtime.run()
+    assert session.reason == "halt"
+    ext = runtime.process.extension
+    assert ext.patching_disabled
+    assert ext.patch_memory_bytes <= 8 * 1024

@@ -1,0 +1,48 @@
+"""Unit tests for the structured event log."""
+
+from repro.util.events import EventLog
+
+
+def test_emit_and_len():
+    log = EventLog()
+    assert len(log) == 0
+    log.emit(10, "checkpoint", index=1)
+    log.emit(20, "rollback", to_index=1)
+    assert len(log) == 2
+
+
+def test_of_kind_exact_and_prefix():
+    log = EventLog()
+    log.emit(1, "diagnosis.start")
+    log.emit(2, "diagnosis.iteration", passed=True)
+    log.emit(3, "checkpoint")
+    assert len(log.of_kind("diagnosis")) == 2
+    assert len(log.of_kind("diagnosis.iteration")) == 1
+    assert len(log.of_kind("checkpoint")) == 1
+    assert log.of_kind("diag") == []  # prefix must be dot-delimited
+
+
+def test_last():
+    log = EventLog()
+    assert log.last() is None
+    log.emit(1, "a")
+    log.emit(2, "b", x=1)
+    assert log.last().kind == "b"
+    assert log.last("a").kind == "a"
+    assert log.last("zzz") is None
+
+
+def test_render_contains_fields():
+    log = EventLog()
+    log.emit(1_500_000_000, "checkpoint", index=4, cow_pages=7)
+    text = log.render()
+    assert "checkpoint" in text
+    assert "cow_pages=7" in text
+    assert "1.5" in text  # seconds
+
+
+def test_events_are_ordered():
+    log = EventLog()
+    for i in range(5):
+        log.emit(i, f"k{i}")
+    assert [e.kind for e in log] == [f"k{i}" for i in range(5)]

@@ -1,0 +1,49 @@
+"""Unit tests for the simulated clock and cost model."""
+
+import pytest
+
+from repro.util.simclock import CostModel, SimClock
+
+
+def test_clock_monotonic_charge():
+    clock = SimClock()
+    clock.charge(100)
+    clock.charge(50)
+    assert clock.now_ns == 150
+    assert clock.now_s == pytest.approx(150e-9)
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(ValueError):
+        SimClock().charge(-1)
+
+
+def test_snapshot_restore():
+    clock = SimClock(1000)
+    saved = clock.snapshot()
+    clock.charge(500)
+    clock.restore(saved)
+    assert clock.now_ns == 1000
+
+
+def test_fill_cost_rounds_up_to_64b():
+    costs = CostModel(fill_per_64b_ns=10)
+    assert costs.fill_cost(0) == 0
+    assert costs.fill_cost(1) == 10
+    assert costs.fill_cost(64) == 10
+    assert costs.fill_cost(65) == 20
+
+
+def test_replay_model_scales_instruction_cost():
+    costs = CostModel(instr_ns=10_000, replay_speedup=20)
+    replay = costs.replay_model()
+    assert replay.instr_ns == 500
+    # everything else unchanged
+    assert replay.alloc_ns == costs.alloc_ns
+    # original untouched
+    assert costs.instr_ns == 10_000
+
+
+def test_replay_model_never_zero():
+    costs = CostModel(instr_ns=3, replay_speedup=100)
+    assert costs.replay_model().instr_ns >= 1

@@ -1,0 +1,132 @@
+"""Builder and Program container edge cases."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.vm import isa
+from repro.vm.builder import FunctionBuilder, ProgramBuilder
+from repro.vm.program import Function, Program
+
+
+class TestFunctionBuilder:
+    def test_named_locals_are_stable(self):
+        fb = FunctionBuilder("f")
+        a = fb.local("a")
+        b = fb.local("b")
+        assert fb.local("a") == a
+        assert a != b
+
+    def test_params_occupy_first_slots(self):
+        fb = FunctionBuilder("f", ["x", "y"])
+        assert fb.local("x") == 0
+        assert fb.local("y") == 1
+        assert fb.n_params == 2
+
+    def test_temp_slots_unique(self):
+        fb = FunctionBuilder("f")
+        assert fb.temp() != fb.temp()
+
+    def test_duplicate_label_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.label("L")
+        with pytest.raises(ProgramError):
+            fb.label("L")
+
+    def test_undefined_label_rejected_at_build(self):
+        fb = FunctionBuilder("f")
+        fb.jmp("nowhere")
+        with pytest.raises(ProgramError):
+            fb.build()
+
+    def test_unknown_binop_rejected(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(ProgramError):
+            fb.binop("**", "a", "b", "c")
+
+    def test_label_at_end_gets_landing_pad(self):
+        fb = FunctionBuilder("f")
+        fb.const("x", 1)
+        fb.jz("x", "end")
+        fb.jmp("end")
+        fb.label("end")
+        fn = fb.build()
+        # all jump targets are in range
+        for instr in fn.code:
+            if instr[0] == isa.JMP:
+                assert 0 <= instr[1] < len(fn.code)
+
+    def test_implicit_return_appended(self):
+        fb = FunctionBuilder("f")
+        fb.const("x", 1)
+        fn = fb.build()
+        assert fn.code[-1][0] == isa.RET
+
+
+class TestProgramValidation:
+    def build_program(self, code, n_globals=1):
+        return Program([Function("main", 0, 4, code)],
+                       n_globals=n_globals)
+
+    def test_requires_main(self):
+        with pytest.raises(ProgramError):
+            Program([Function("helper", 0, 0,
+                              [(isa.RET, None, None, None, None)])])
+
+    def test_rejects_out_of_range_jump(self):
+        with pytest.raises(ProgramError):
+            self.build_program([(isa.JMP, 99, None, None, None)])
+
+    def test_rejects_bad_load_size(self):
+        with pytest.raises(ProgramError):
+            self.build_program([
+                (isa.LOAD, 0, 1, 0, 3),
+                (isa.RET, None, None, None, None)])
+
+    def test_rejects_bad_store_size(self):
+        with pytest.raises(ProgramError):
+            self.build_program([
+                (isa.STORE, 0, 0, 16, 1),
+                (isa.RET, None, None, None, None)])
+
+    def test_rejects_global_out_of_range(self):
+        with pytest.raises(ProgramError):
+            self.build_program([
+                (isa.GLOAD, 0, 5, None, None),
+                (isa.RET, None, None, None, None)], n_globals=2)
+
+    def test_rejects_too_many_params(self):
+        with pytest.raises(ProgramError):
+            Function("f", 3, 2, [])
+
+    def test_rejects_duplicate_functions(self):
+        fn = Function("main", 0, 1, [(isa.RET, None, None, None, None)])
+        with pytest.raises(ProgramError):
+            Program([fn, fn])
+
+    def test_disassembly_readable(self):
+        pb = ProgramBuilder("d")
+        fb = pb.function("main")
+        fb.const("x", 42)
+        fb.output("x")
+        fb.halt()
+        pb.add(fb)
+        text = pb.build().disassemble()
+        assert "func main" in text
+        assert "CONST" in text and "42" in text
+        assert "HALT" in text
+
+
+class TestIsa:
+    def test_opcode_names_align(self):
+        assert isa.OPCODE_NAMES[isa.MALLOC] == "MALLOC"
+        assert isa.OPCODE_NAMES[isa.ADDI] == "ADDI"
+        assert len(isa.OPCODE_NAMES) == isa.ADDI + 1
+
+    def test_binops_cover_c_operators(self):
+        for op in ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+                   "<", "<=", ">", ">=", "==", "!="):
+            assert op in isa.BINOPS
+
+    def test_render_instr(self):
+        text = isa.render_instr((isa.CONST, 3, 99, None, None))
+        assert text == "CONST 3, 99"

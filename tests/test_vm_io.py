@@ -1,0 +1,106 @@
+"""Unit tests for the replayable input stream and output log."""
+
+from repro.vm.io import OutputLog, ReplayableInput
+
+
+class TestReplayableInput:
+    def test_consumes_source_and_journals(self):
+        stream = ReplayableInput([1, 2, 3])
+        assert [stream.next() for _ in range(3)] == [1, 2, 3]
+        assert stream.next() is None
+        assert stream.journal_length == 3
+
+    def test_rewind_replays_identically(self):
+        stream = ReplayableInput([10, 20, 30])
+        stream.next()
+        cursor = stream.snapshot()
+        rest_first = [stream.next(), stream.next()]
+        stream.restore(cursor)
+        rest_second = [stream.next(), stream.next()]
+        assert rest_first == rest_second == [20, 30]
+
+    def test_restore_beyond_journal_rejected(self):
+        stream = ReplayableInput([1])
+        stream.next()
+        try:
+            stream.restore(5)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_feed_extends_live_source(self):
+        stream = ReplayableInput([1])
+        assert stream.next() == 1
+        assert stream.next() is None
+        stream.feed([2, 3])
+        assert stream.next() == 2
+        # rewind covers fed tokens too
+        stream.restore(0)
+        assert [stream.next() for _ in range(3)] == [1, 2, 3]
+
+    def test_lazy_source_only_pulled_once(self):
+        pulled = []
+
+        def source():
+            for i in range(3):
+                pulled.append(i)
+                yield i
+        stream = ReplayableInput(source())
+        stream.next()
+        assert pulled == [0]
+        stream.restore(0)
+        stream.next()          # replayed from journal, not re-pulled
+        assert pulled == [0]
+
+    def test_journal_slice(self):
+        stream = ReplayableInput(range(5))
+        for _ in range(5):
+            stream.next()
+        assert stream.journal_slice(1, 3) == [1, 2]
+
+
+class TestOutputLog:
+    def test_emit_and_values(self):
+        log = OutputLog()
+        log.emit(100, 7)
+        log.emit(200, 8)
+        assert log.values() == [7, 8]
+        assert log.entries() == [(100, 7), (200, 8)]
+
+    def test_truncate_restore(self):
+        log = OutputLog()
+        log.emit(1, 1)
+        mark = log.snapshot()
+        log.emit(2, 2)
+        log.restore(mark)
+        assert log.values() == [1]
+
+    def test_since(self):
+        log = OutputLog()
+        for i in range(4):
+            log.emit(i, i * 10)
+        assert log.since(2) == [(2, 20), (3, 30)]
+
+    def test_empty_log_is_falsy_but_usable(self):
+        # regression: Machine must not replace an empty provided log
+        from repro.vm.builder import ProgramBuilder
+        from repro.heap.base import Memory
+        from repro.heap.allocator import LeaAllocator
+        from repro.heap.extension import AllocatorExtension, ExtensionMode
+        from repro.vm.machine import Machine
+        pb = ProgramBuilder("t")
+        f = pb.function("main")
+        f.const("x", 5)
+        f.output("x")
+        f.halt()
+        pb.add(f)
+        mem = Memory()
+        ext = AllocatorExtension(mem, LeaAllocator(mem),
+                                 ExtensionMode.OFF)
+        shared = OutputLog()
+        assert len(shared) == 0 and not shared.entries()
+        machine = Machine(pb.build(), mem, ext, ReplayableInput(),
+                          shared)
+        machine.run()
+        assert shared.values() == [5]

@@ -1,0 +1,357 @@
+"""Unit tests for the VM: builder-level programs, semantics, faults,
+call-sites, snapshots."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.heap.allocator import LeaAllocator
+from repro.heap.base import Memory
+from repro.heap.extension import AllocatorExtension, ExtensionMode
+from repro.util.callsite import CallSite
+from repro.vm.builder import ProgramBuilder
+from repro.vm.io import OutputLog, ReplayableInput
+from repro.vm.machine import Machine, RunReason
+
+
+def machine_for(build, tokens=(), mode=ExtensionMode.DIAGNOSTIC):
+    pb = ProgramBuilder("t")
+    build(pb)
+    prog = pb.build()
+    mem = Memory()
+    ext = AllocatorExtension(mem, LeaAllocator(mem), mode)
+    return Machine(prog, mem, ext, ReplayableInput(tokens), OutputLog())
+
+
+def test_arithmetic_and_output():
+    def build(pb):
+        f = pb.function("main")
+        f.const("a", 7)
+        f.const("b", 5)
+        f.binop("*", "c", "a", "b")
+        f.binop("-", "c", "c", "b")       # 30
+        f.binop("%", "c", "c", "a")       # 2
+        f.output("c")
+        f.halt()
+        pb.add(f)
+    m = machine_for(build)
+    assert m.run().reason is RunReason.HALT
+    assert m.output.values() == [2]
+
+
+def test_64bit_wraparound():
+    def build(pb):
+        f = pb.function("main")
+        f.const("a", (1 << 64) - 1)
+        f.const("b", 1)
+        f.binop("+", "c", "a", "b")
+        f.output("c")
+        f.neg("d", "b")                    # -1 == 2^64-1
+        f.output("d")
+        f.halt()
+        pb.add(f)
+    m = machine_for(build)
+    m.run()
+    assert m.output.values() == [0, (1 << 64) - 1]
+
+
+def test_division_by_zero_faults():
+    def build(pb):
+        f = pb.function("main")
+        f.const("a", 1)
+        f.const("z", 0)
+        f.binop("/", "c", "a", "z")
+        f.halt()
+        pb.add(f)
+    m = machine_for(build)
+    result = m.run()
+    assert result.reason is RunReason.FAULT
+    assert result.fault.kind == "div-by-zero"
+
+
+def test_call_and_return_value():
+    def build(pb):
+        f = pb.function("twice", ["x"])
+        f.binop("+", "r", "x", "x")
+        f.ret("r")
+        pb.add(f)
+        g = pb.function("main")
+        g.const("v", 21)
+        g.call("out", "twice", ["v"])
+        g.output("out")
+        g.halt()
+        pb.add(g)
+    m = machine_for(build)
+    m.run()
+    assert m.output.values() == [42]
+
+
+def test_recursion():
+    def build(pb):
+        f = pb.function("fact", ["n"])
+        f.const("one", 1)
+        f.binop("<=", "base", "n", "one")
+        f.jz("base", "rec")
+        f.ret("one")
+        f.label("rec")
+        f.binop("-", "m", "n", "one")
+        f.call("sub", "fact", ["m"])
+        f.binop("*", "r", "n", "sub")
+        f.ret("r")
+        pb.add(f)
+        g = pb.function("main")
+        g.const("v", 6)
+        g.call("out", "fact", ["v"])
+        g.output("out")
+        g.halt()
+        pb.add(g)
+    m = machine_for(build)
+    m.run()
+    assert m.output.values() == [720]
+
+
+def test_main_return_halts():
+    def build(pb):
+        f = pb.function("main")
+        f.const("x", 1)
+        f.ret("x")
+        pb.add(f)
+    m = machine_for(build)
+    assert m.run().reason is RunReason.HALT
+    assert m.halted
+
+
+def test_input_exhaustion_pauses_and_resumes():
+    def build(pb):
+        f = pb.function("main")
+        f.label("loop")
+        f.input("v")
+        f.output("v")
+        f.jmp("loop")
+        pb.add(f)
+    m = machine_for(build, tokens=[1, 2])
+    result = m.run()
+    assert result.reason is RunReason.INPUT_EXHAUSTED
+    assert m.output.values() == [1, 2]
+    m.input.feed([3])
+    result = m.run()
+    assert result.reason is RunReason.INPUT_EXHAUSTED
+    assert m.output.values() == [1, 2, 3]
+
+
+def test_stop_at_and_resume():
+    def build(pb):
+        f = pb.function("main")
+        f.const("i", 0)
+        f.const("one", 1)
+        f.label("L")
+        f.binop("+", "i", "i", "one")
+        f.jmp("L")
+        pb.add(f)
+    m = machine_for(build)
+    assert m.run(stop_at=100).reason is RunReason.STOP
+    assert m.instr_count == 100
+    assert m.run(max_steps=50).reason is RunReason.STOP
+    assert m.instr_count == 150
+
+
+def test_fault_freezes_machine():
+    def build(pb):
+        f = pb.function("main")
+        f.const("p", 0)
+        f.load("v", "p", 0, 8)   # NULL deref
+        f.halt()
+        pb.add(f)
+    m = machine_for(build)
+    first = m.run()
+    assert first.reason is RunReason.FAULT
+    again = m.run()
+    assert again.reason is RunReason.FAULT
+    assert again.fault is first.fault
+
+
+def test_fault_carries_instruction_id():
+    def build(pb):
+        f = pb.function("boom")
+        f.const("p", 4)
+        f.load("v", "p", 0, 8)
+        f.ret()
+        pb.add(f)
+        g = pb.function("main")
+        g.call(None, "boom", [])
+        g.halt()
+        pb.add(g)
+    m = machine_for(build)
+    result = m.run()
+    assert result.fault.instr_id[0] == "boom"
+
+
+def test_malloc_callsite_depth_three():
+    captured = []
+
+    def build(pb):
+        f = pb.function("inner")
+        f.const("sz", 16)
+        f.malloc("p", "sz")
+        f.ret("p")
+        pb.add(f)
+        g = pb.function("mid")
+        g.call("p", "inner", [])
+        g.ret("p")
+        pb.add(g)
+        h = pb.function("main")
+        h.call("p", "mid", [])
+        h.free("p")
+        h.halt()
+        pb.add(h)
+
+    m = machine_for(build)
+
+    class Spy(type(m.extension.policy)):
+        def on_alloc(self, callsite):
+            captured.append(callsite)
+            return super().on_alloc(callsite)
+    m.extension.policy = Spy()
+    m.run()
+    (site,) = captured
+    assert isinstance(site, CallSite)
+    assert [fn for fn, _pc in site.frames] == ["inner", "mid", "main"]
+
+
+def test_globals():
+    def build(pb):
+        pb.global_slot("g")
+        f = pb.function("main")
+        f.const("x", 9)
+        f.gstore(0, "x")
+        f.gload("y", 0)
+        f.output("y")
+        f.halt()
+        pb.add(f)
+    m = machine_for(build)
+    m.run()
+    assert m.output.values() == [9]
+
+
+def test_assert_failure():
+    def build(pb):
+        f = pb.function("main")
+        f.const("z", 0)
+        f.assert_("z", "must not be zero")
+        f.halt()
+        pb.add(f)
+    m = machine_for(build)
+    result = m.run()
+    assert result.reason is RunReason.FAULT
+    assert result.fault.kind == "assert"
+    assert "must not be zero" in str(result.fault)
+
+
+def test_rand_not_part_of_snapshot():
+    def build(pb):
+        f = pb.function("main")
+        f.rand("r")
+        f.output("r")
+        f.halt()
+        pb.add(f)
+    m = machine_for(build)
+    snap = m.snapshot()
+    m.run()
+    first = m.output.values()[0]
+    m.restore(snap)
+    # same entropy source continues -> different value on re-execution
+    m.run()
+    second = m.output.values()[0]
+    assert first != second
+
+
+def test_snapshot_restore_replays_identically():
+    def build(pb):
+        f = pb.function("main")
+        f.const("sum", 0)
+        f.label("loop")
+        f.input("v")
+        f.jz("v", "done")
+        f.const("sz", 32)
+        f.malloc("p", "sz")
+        f.store("p", "v", 0, 8)
+        f.load("w", "p", 0, 8)
+        f.binop("+", "sum", "sum", "w")
+        f.free("p")
+        f.jmp("loop")
+        f.label("done")
+        f.output("sum")
+        f.halt()
+        pb.add(f)
+    m = machine_for(build, tokens=[5, 6, 7, 0])
+    m.run(max_steps=20)
+    snap = m.snapshot()
+    mem_snap = m.mem.snapshot()
+    alloc_snap = m.extension.allocator.snapshot()
+    ext_snap = m.extension.snapshot()
+    m.run()
+    first = (m.output.values(), m.instr_count)
+    m.restore(snap)
+    m.mem.restore(mem_snap)
+    m.extension.allocator.restore(alloc_snap)
+    m.extension.restore(ext_snap)
+    m.run()
+    assert (m.output.values(), m.instr_count) == first
+
+
+def test_program_validation_rejects_bad_structures():
+    pb = ProgramBuilder("bad")
+    f = pb.function("main")
+    f.call(None, "missing", [])
+    f.halt()
+    pb.add(f)
+    with pytest.raises(ProgramError):
+        pb.build()
+
+
+def test_program_validation_rejects_arity_mismatch():
+    pb = ProgramBuilder("bad")
+    f = pb.function("helper", ["a", "b"])
+    f.ret("a")
+    pb.add(f)
+    g = pb.function("main")
+    g.const("x", 1)
+    g.call(None, "helper", ["x"])   # one arg, needs two
+    g.halt()
+    pb.add(g)
+    with pytest.raises(ProgramError):
+        pb.build()
+
+
+def test_memset_memcpy():
+    def build(pb):
+        f = pb.function("main")
+        f.const("sz", 64)
+        f.malloc("p", "sz")
+        f.malloc("q", "sz")
+        f.const("val", 0x5A)
+        f.memset("p", "val", "sz")
+        f.memcpy("q", "p", "sz")
+        f.load("x", "q", 0, 1)
+        f.output("x")
+        f.halt()
+        pb.add(f)
+    m = machine_for(build)
+    m.run()
+    assert m.output.values() == [0x5A]
+
+
+def test_sized_loads_and_stores():
+    def build(pb):
+        f = pb.function("main")
+        f.const("sz", 16)
+        f.malloc("p", "sz")
+        f.const("v", 0x11223344AABBCCDD)
+        f.store("p", "v", 0, 8)
+        for size, expect in ((1, 0xDD), (2, 0xCCDD), (4, 0xAABBCCDD)):
+            f.load("x", "p", 0, size)
+            f.output("x")
+        f.halt()
+        pb.add(f)
+    m = machine_for(build)
+    m.run()
+    assert m.output.values() == [0xDD, 0xCCDD, 0xAABBCCDD]

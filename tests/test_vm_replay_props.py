@@ -1,0 +1,76 @@
+"""Property tests for whole-process replay determinism -- the property
+the entire diagnosis algorithm rests on."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.heap.extension import ExtensionMode
+from tests.conftest import make_process
+
+SERVER = """
+int table = 0;
+int main() {
+    table = malloc(128);
+    memset(table, 0, 128);
+    int total = 0;
+    while (1) {
+        int v = input();
+        if (v == 0) { break; }
+        int obj = malloc(16 + (v % 7) * 16);
+        store(obj, v);
+        int slot = (v % 16) * 8;
+        int old = load(table + slot);
+        if (old != 0) {
+            free(old);
+        }
+        store(table + slot, obj);
+        total = total + load(obj);
+        output(total);
+    }
+    output(total);
+    halt();
+}
+"""
+
+workloads = st.lists(st.integers(min_value=1, max_value=500),
+                     min_size=1, max_size=60)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads)
+def test_two_fresh_processes_agree(tokens):
+    runs = []
+    for _ in range(2):
+        process = make_process(SERVER, tokens=tokens + [0])
+        process.run()
+        runs.append((process.output.values(), process.instr_count,
+                     process.allocator.heap_used))
+    assert runs[0] == runs[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads, st.integers(min_value=1, max_value=2000))
+def test_rollback_replay_reaches_identical_state(tokens, cut):
+    process = make_process(SERVER, tokens=tokens + [0])
+    process.run(max_steps=cut)
+    snap = process.snapshot()
+    process.run()
+    final = (process.output.values(), process.instr_count,
+             process.mem.snapshot()[0])
+    process.restore(snap)
+    process.run()
+    again = (process.output.values(), process.instr_count,
+             process.mem.snapshot()[0])
+    assert final == again
+
+
+@settings(max_examples=25, deadline=None)
+@given(workloads)
+def test_off_and_normal_modes_compute_same_outputs(tokens):
+    """The allocator extension in normal mode (no patches) must be
+    semantically invisible to the program."""
+    results = []
+    for mode in (ExtensionMode.OFF, ExtensionMode.NORMAL):
+        process = make_process(SERVER, tokens=tokens + [0], mode=mode)
+        process.run()
+        results.append(process.output.values())
+    assert results[0] == results[1]

@@ -1,0 +1,113 @@
+"""Workload kernels and bench-harness tests."""
+
+import pytest
+
+from repro.bench.harness import (
+    Subject,
+    clear_overhead_cache,
+    overhead_run,
+    overhead_subjects,
+)
+from repro.bench.tables import ExperimentResult, render_series, render_table
+from repro.heap.extension import ExtensionMode
+from repro.process import Process
+from repro.vm.machine import RunReason
+from repro.workloads import ALLOC_INTENSIVE, PROFILES, SPEC_INT2000, build_kernel
+
+
+class TestProfiles:
+    def test_population_matches_paper_figure6(self):
+        assert len(SPEC_INT2000) == 11   # 254.gap absent, as in Fig. 6
+        assert len(ALLOC_INTENSIVE) == 4
+        assert {p.name for p in ALLOC_INTENSIVE} == {
+            "cfrac", "espresso", "lindsay", "p2c"}
+
+    def test_heap_sizes_ordering_matches_table6(self):
+        # scaled heaps must preserve the paper's big/small ordering
+        heap = {p.name: p.heap_bytes for p in SPEC_INT2000}
+        assert heap["164.gzip"] > heap["175.vpr"] > heap["186.crafty"]
+        assert heap["256.bzip2"] > heap["300.twolf"]
+        assert heap["252.eon"] < heap["181.mcf"]
+
+    def test_alloc_intensive_have_small_objects(self):
+        for profile in ALLOC_INTENSIVE:
+            if profile.name != "lindsay":
+                assert profile.obj_size <= 32
+                assert profile.churn_per_round >= 100
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", ["186.crafty", "300.twolf",
+                                      "cfrac", "lindsay"])
+    def test_kernel_runs_clean(self, name):
+        program = build_kernel(PROFILES[name])
+        process = Process(program, mode=ExtensionMode.OFF)
+        result = process.run()
+        assert result.reason is RunReason.HALT
+        assert len(process.output.entries()) == PROFILES[name].rounds
+
+    def test_kernel_heap_tracks_profile(self):
+        profile = PROFILES["181.mcf"]
+        program = build_kernel(profile)
+        process = Process(program, mode=ExtensionMode.OFF)
+        process.run()
+        peak = process.allocator.peak_heap_bytes
+        assert peak >= profile.heap_bytes
+        assert peak <= profile.heap_bytes * 1.5
+
+    def test_kernel_is_deterministic(self):
+        program = build_kernel(PROFILES["cfrac"])
+        counts = []
+        for _ in range(2):
+            process = Process(program, mode=ExtensionMode.OFF)
+            process.run()
+            counts.append((process.instr_count,
+                           process.allocator.n_mallocs))
+        assert counts[0] == counts[1]
+
+
+class TestOverheadHarness:
+    def test_subject_population(self):
+        names = {s.name for s in overhead_subjects()}
+        assert len(names) == 7 + 11 + 4
+        assert {"apache", "164.gzip", "cfrac"} <= names
+
+    def test_overhead_run_cached(self):
+        subject = next(s for s in overhead_subjects()
+                       if s.name == "252.eon")
+        a = overhead_run(subject, "off")
+        b = overhead_run(subject, "off")
+        assert a is b
+
+    def test_configs_ordered_by_cost(self):
+        subject = next(s for s in overhead_subjects()
+                       if s.name == "300.twolf")
+        off = overhead_run(subject, "off")
+        ext = overhead_run(subject, "ext")
+        full = overhead_run(subject, "full")
+        assert off.time_s <= ext.time_s <= full.time_s
+        assert off.peak_metadata_bytes == 0
+        assert ext.peak_metadata_bytes > 0
+        assert full.checkpoints >= 1
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+
+    def test_render_series(self):
+        text = render_series("t", {"sys": [1.0, 0.0, 2.0]},
+                             bin_seconds=1.0, width=10)
+        assert "sys" in text
+        assert "|" in text
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult("tableX", "demo",
+                                  headers=["a"], rows=[[1]],
+                                  notes=["hello"])
+        text = result.render()
+        assert "tableX" in text and "hello" in text
