@@ -20,6 +20,12 @@ The "failure region" criterion follows Section 4.1: a re-execution
 passes if it survives to ``failure_instr + window_intervals x
 checkpoint_interval`` (3 intervals in the paper and here) or finishes
 the program cleanly before that.
+
+Diagnosis is rollback-heavy (6-7+ rollbacks per bug, more under binary
+search), so it leans directly on the checkpoint manager's incremental
+restore: every ``rollback_to`` here rewrites only the pages that differ
+between the current heap and the target checkpoint (plus whatever the
+re-execution dirtied), not the whole heap.
 """
 
 from __future__ import annotations

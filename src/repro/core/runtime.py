@@ -39,6 +39,13 @@ class FirstAidConfig:
     checkpoint_interval: int = DEFAULT_INTERVAL      # 200 ms equivalent
     max_checkpoints: int = 64
     adaptive_checkpointing: bool = True
+    #: Incremental (delta/keyframe) checkpointing: each checkpoint
+    #: stores only the pages dirtied since the previous one, with a
+    #: full keyframe every ``keyframe_every`` checkpoints bounding the
+    #: restore chain.  Disable to reproduce the seed's full-copy
+    #: behaviour for A/B measurements.
+    incremental_checkpoints: bool = True
+    keyframe_every: int = 8
     overhead_target: float = 0.05                    # T_overhead
     max_interval: int = 20 * DEFAULT_INTERVAL        # T_checkpoint
     window_intervals: int = 3          # failure-region length (Sec 4.1)
@@ -119,6 +126,8 @@ class FirstAidRuntime:
             overhead_target=self.config.overhead_target,
             max_interval=self.config.max_interval,
             events=self.events,
+            incremental=self.config.incremental_checkpoints,
+            keyframe_every=self.config.keyframe_every,
         )
         self.monitors = monitors if monitors is not None \
             else default_monitors()

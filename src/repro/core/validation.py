@@ -90,14 +90,18 @@ class ValidationEngine:
         result = ValidationResult(consistent=True)
         saved_triggers = {p.patch_id: p.trigger_count
                           for p in pool.patches()}
+        # Materialize the checkpoint's full state once: with
+        # incremental checkpointing this walks the delta chain, so
+        # rebuilding it per iteration would repay O(heap) four times.
+        state = checkpoint.materialize()
         try:
             for i in range(self.iterations):
                 trace = self._one_iteration(
-                    process, checkpoint, pool, window_end, seed=101 + i,
+                    process, state, pool, window_end, seed=101 + i,
                     result=result)
                 result.iterations.append(trace)
             result.baseline_mm_trace = self._baseline_trace(
-                process, checkpoint, window_end, result)
+                process, state, window_end, result)
         finally:
             # Validation runs must not distort the live pool's
             # trigger accounting.
@@ -114,10 +118,10 @@ class ValidationEngine:
 
     # ------------------------------------------------------------------
 
-    def _one_iteration(self, process: Process, checkpoint: Checkpoint,
+    def _one_iteration(self, process: Process, state,
                        pool: PatchPool, window_end: int, seed: int,
                        result: ValidationResult) -> IterationTrace:
-        clone = process.clone(checkpoint.state)
+        clone = process.clone(state)
         clone.use_randomized_allocator(seed)
         clone.set_mode(ExtensionMode.VALIDATION, pool.policy())
         clone.set_costs(process.costs.replay_model())
@@ -133,12 +137,12 @@ class ValidationEngine:
             mm_trace=list(clone.extension.mm_trace),
             illegal_accesses=list(clone.extension.illegal_accesses))
 
-    def _baseline_trace(self, process: Process, checkpoint: Checkpoint,
+    def _baseline_trace(self, process: Process, state,
                         window_end: int,
                         result: ValidationResult) -> List[MMTraceEntry]:
         """Unpatched re-execution (runs into the failure); its trace is
         diffed against the patched traces in the bug report."""
-        clone = process.clone(checkpoint.state)
+        clone = process.clone(state)
         clone.set_mode(ExtensionMode.DIAGNOSTIC, None)
         clone.extension.policy = _null_policy()
         clone.set_costs(process.costs.replay_model())

@@ -17,7 +17,7 @@ pages dirtied in each interval, and Tables 6-7 measure exactly that.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Set
+from typing import Dict, FrozenSet, Iterable, Mapping, Set
 
 from repro.errors import SegmentationFault
 
@@ -39,7 +39,7 @@ class Memory:
     reused bytes keep their previous contents (as from a real allocator).
     """
 
-    __slots__ = ("base", "limit", "_buf", "_dirty_pages")
+    __slots__ = ("base", "limit", "_buf", "_dirty_pages", "version")
 
     def __init__(self, base: int = HEAP_BASE, limit: int = DEFAULT_LIMIT):
         if base % PAGE_SIZE:
@@ -48,6 +48,12 @@ class Memory:
         self.limit = limit
         self._buf = bytearray()
         self._dirty_pages: Set[int] = set()
+        #: Bumped on every wholesale restore/overlay.  The checkpoint
+        #: manager uses this to detect that the segment was rewritten
+        #: behind its back (e.g. by a direct Process.restore), in which
+        #: case its dirty-page bookkeeping no longer describes the
+        #: delta against the last checkpoint.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # segment management
@@ -145,6 +151,12 @@ class Memory:
     # snapshot / restore (used by checkpointing)
     # ------------------------------------------------------------------
 
+    @property
+    def page_count(self) -> int:
+        """Number of mapped pages (``sbrk`` keeps the break
+        page-aligned, so the segment is always a whole page multiple)."""
+        return len(self._buf) // PAGE_SIZE
+
     def snapshot(self) -> tuple:
         """An opaque, immutable snapshot of the segment contents."""
         return (bytes(self._buf), frozenset(self._dirty_pages))
@@ -153,3 +165,46 @@ class Memory:
         buf, dirty = snap
         self._buf = bytearray(buf)
         self._dirty_pages = set(dirty)
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # page-granular snapshot / overlay (incremental checkpointing)
+    # ------------------------------------------------------------------
+
+    def copy_pages(self, indices: Iterable[int]) -> Dict[int, bytes]:
+        """Immutable copies of the given pages, keyed by page index.
+
+        This is the capture half of an incremental checkpoint: the
+        caller passes the dirty-page set and pays O(dirty) instead of
+        O(heap).  Slices go through one :class:`memoryview` so each
+        page costs a single copy.
+        """
+        view = memoryview(self._buf)
+        try:
+            return {idx: bytes(view[idx * PAGE_SIZE:(idx + 1) * PAGE_SIZE])
+                    for idx in indices}
+        finally:
+            view.release()
+
+    def load_pages(self, mapped_bytes: int, pages: Mapping[int, bytes],
+                   dirty: Iterable[int] = ()) -> None:
+        """Resize the segment to ``mapped_bytes`` and overlay ``pages``.
+
+        The restore half of an incremental rollback: only the pages
+        known to differ from the target state need to be supplied;
+        everything else keeps its current contents.  Growth fills with
+        zeros (matching :meth:`sbrk`); shrinking truncates (rollback to
+        an older, smaller break).
+        """
+        if mapped_bytes % PAGE_SIZE:
+            raise ValueError("mapped size must be page aligned")
+        buf = self._buf
+        if len(buf) > mapped_bytes:
+            del buf[mapped_bytes:]
+        elif len(buf) < mapped_bytes:
+            buf.extend(bytes(mapped_bytes - len(buf)))
+        for idx, payload in pages.items():
+            off = idx * PAGE_SIZE
+            buf[off:off + len(payload)] = payload
+        self._dirty_pages = set(dirty)
+        self.version += 1

@@ -26,12 +26,17 @@ from repro.vm.state import MachineSnapshot
 
 
 class ProcessSnapshot:
-    """Full-state snapshot of a process (one checkpoint's payload)."""
+    """Full-state snapshot of a process (one checkpoint's payload).
+
+    ``memory`` may be None for a *meta* snapshot (machine + allocator +
+    extension only); the incremental checkpoint layer stores heap pages
+    separately and composes them back on materialization.
+    """
 
     __slots__ = ("machine", "memory", "allocator", "extension",
                  "instr_count", "randomized")
 
-    def __init__(self, machine: MachineSnapshot, memory: tuple,
+    def __init__(self, machine: MachineSnapshot, memory: Optional[tuple],
                  allocator: tuple, extension: tuple, randomized: bool):
         self.machine = machine
         self.memory = memory
@@ -115,8 +120,22 @@ class Process:
             randomized=isinstance(self.allocator, RandomizedLeaAllocator),
         )
 
+    def snapshot_meta(self) -> ProcessSnapshot:
+        """Everything except heap contents (``memory=None``).  The
+        checkpoint manager captures heap pages separately at page
+        granularity, so a checkpoint costs O(dirty pages) instead of
+        O(heap)."""
+        return ProcessSnapshot(
+            machine=self.machine.snapshot(),
+            memory=None,
+            allocator=self.allocator.snapshot(),
+            extension=self.extension.snapshot(),
+            randomized=isinstance(self.allocator, RandomizedLeaAllocator),
+        )
+
     def restore(self, snap: ProcessSnapshot) -> None:
-        self.mem.restore(snap.memory)
+        if snap.memory is not None:
+            self.mem.restore(snap.memory)
         if snap.randomized:
             if not isinstance(self.allocator, RandomizedLeaAllocator):
                 raise CheckpointError(
@@ -150,7 +169,7 @@ class Process:
         current state).  Used by the validation engine."""
         snap = snap or self.snapshot()
         journal = self.input.journal_slice(0)
-        clone = Process(self.program, input_tokens=journal,
+        clone = Process(self.program,
                         mode=self.extension.mode,
                         policy=self.extension.policy,
                         costs=self.costs,
@@ -159,11 +178,10 @@ class Process:
                         .quarantine.threshold_bytes)
         if snap.randomized:
             clone.use_randomized_allocator(seed=1)
-        # Materialize the journal in the clone's input so the cursor in
+        # Bulk-load the journal into the clone's input so the cursor in
         # the snapshot points at recorded tokens, and carry over the
         # output history up to the snapshot point.
-        while clone.input.journal_length < len(journal):
-            clone.input.next()
+        clone.input.preload_journal(journal)
         clone.output.preload(
             self.output.entries()[:snap.machine.output_length])
         clone.restore(snap)

@@ -68,6 +68,21 @@ class ReplayableInput:
             -> List[int]:
         return self._journal[start:end]
 
+    def preload_journal(self, tokens: Iterable[int]) -> None:
+        """Bulk-load recorded tokens into an untouched stream, leaving
+        the cursor past them (as if every token had been consumed).
+
+        Used when cloning a process: the clone replays the original's
+        journal, and loading it in one call avoids the token-by-token
+        ``next()`` loop that made cloning O(journal) Python iterations.
+        A subsequent ``restore(cursor)`` rewinds into the preloaded
+        region.
+        """
+        if self._journal or self._cursor:
+            raise ValueError("preload_journal requires a fresh stream")
+        self._journal = [int(t) for t in tokens]
+        self._cursor = len(self._journal)
+
     def snapshot(self) -> int:
         return self._cursor
 

@@ -136,9 +136,18 @@ class Machine:
         instr_ns = self.costs.instr_ns
         frames = self.frames
         glb = self.globals
+        # Per-instruction time is accumulated locally and charged in
+        # bulk at run/stop boundaries and before any operation that
+        # reads the clock: a clock.charge() attribute call on every one
+        # of tens of millions of instructions is pure dispatch
+        # overhead, and the clock value is only *observed* at OUT,
+        # MALLOC/FREE (extension bookkeeping), and run exits.
+        pending_ns = 0
 
         while True:
             if stop_at is not None and self.instr_count >= stop_at:
+                if pending_ns:
+                    clock.charge(pending_ns)
                 return RunResult(RunReason.STOP)
             frame = frames[-1]
             code = frame.func.code
@@ -150,7 +159,7 @@ class Machine:
             op = instr[0]
             frame.pc = pc + 1
             self.instr_count += 1
-            clock.charge(instr_ns)
+            pending_ns += instr_ns
             loc = frame.locals
 
             try:
@@ -234,16 +243,20 @@ class Machine:
                     finished = frames.pop()
                     if not frames:
                         self.halted = True
+                        if pending_ns:
+                            clock.charge(pending_ns)
                         return RunResult(RunReason.HALT)
                     if finished.ret_dst is not None:
                         frames[-1].locals[finished.ret_dst] = value
                 elif op == isa.MALLOC:
-                    clock.charge(self.costs.alloc_ns)
+                    clock.charge(pending_ns + self.costs.alloc_ns)
+                    pending_ns = 0
                     site = (None if self.extension.mode is ExtensionMode.OFF
                             else self.current_callsite(pc))
                     loc[instr[1]] = self.extension.malloc(loc[instr[2]], site)
                 elif op == isa.FREE:
-                    clock.charge(self.costs.alloc_ns)
+                    clock.charge(pending_ns + self.costs.alloc_ns)
+                    pending_ns = 0
                     site = (None if self.extension.mode is ExtensionMode.OFF
                             else self.current_callsite(pc))
                     self.extension.free(loc[instr[1]], site)
@@ -272,15 +285,22 @@ class Machine:
                         # Rewind so a later feed()+run() re-executes IN.
                         frame.pc = pc
                         self.instr_count -= 1
+                        if pending_ns:
+                            clock.charge(pending_ns)
                         return RunResult(RunReason.INPUT_EXHAUSTED)
                     loc[instr[1]] = token & _MASK64
                 elif op == isa.OUT:
+                    if pending_ns:
+                        clock.charge(pending_ns)
+                        pending_ns = 0
                     self.output.emit(clock.now_ns, loc[instr[1]])
                 elif op == isa.ASSERT:
                     if loc[instr[1]] == 0:
                         raise AssertionFailure(instr[2] or "assertion failed")
                 elif op == isa.HALT:
                     self.halted = True
+                    if pending_ns:
+                        clock.charge(pending_ns)
                     return RunResult(RunReason.HALT)
                 elif op == isa.GLOAD:
                     loc[instr[1]] = glb[instr[2]]
@@ -293,6 +313,8 @@ class Machine:
                 else:  # pragma: no cover - finalize() rejects these
                     raise SimulatedFault(f"illegal opcode {op}")
             except SimulatedFault as fault:
+                if pending_ns:
+                    clock.charge(pending_ns)
                 fault.instr_id = (frame.func.name, pc)
                 self.fault = fault
                 return RunResult(RunReason.FAULT, fault)
@@ -307,7 +329,7 @@ class Machine:
                                self.output.snapshot())
 
     def restore(self, snap: MachineSnapshot) -> None:
-        self.frames = [f.copy() for f in snap.frames]
+        self.frames = snap.restore_frames()
         self.globals = list(snap.globals)
         self.instr_count = snap.instr_count
         self.halted = snap.halted

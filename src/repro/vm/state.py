@@ -33,7 +33,14 @@ class Frame:
 
 
 class MachineSnapshot:
-    """Immutable copy of the machine-visible state."""
+    """Immutable copy of the machine-visible state.
+
+    Frames are stored as plain ``(func, pc, locals-tuple, ret_dst)``
+    tuples rather than :class:`Frame` objects: snapshots are taken at
+    every checkpoint boundary, and tuples are both cheaper to build
+    and genuinely immutable (a shared Frame would alias the live
+    ``locals`` list).  :meth:`restore_frames` rebuilds live frames.
+    """
 
     __slots__ = ("frames", "globals", "instr_count", "halted",
                  "input_cursor", "output_length")
@@ -41,9 +48,15 @@ class MachineSnapshot:
     def __init__(self, frames: List[Frame], global_slots: List[int],
                  instr_count: int, halted: bool, input_cursor: int,
                  output_length: int):
-        self.frames = [f.copy() for f in frames]
-        self.globals = list(global_slots)
+        self.frames = tuple((f.func, f.pc, tuple(f.locals), f.ret_dst)
+                            for f in frames)
+        self.globals = tuple(global_slots)
         self.instr_count = instr_count
         self.halted = halted
         self.input_cursor = input_cursor
         self.output_length = output_length
+
+    def restore_frames(self) -> List[Frame]:
+        """Fresh mutable activation records from the stored tuples."""
+        return [Frame(func, pc, list(local_slots), ret_dst)
+                for func, pc, local_slots, ret_dst in self.frames]

@@ -1,12 +1,20 @@
 """CheckpointStats arithmetic and Checkpoint object tests."""
 
 from repro.checkpoint.manager import CheckpointStats
-from repro.checkpoint.snapshot import Checkpoint
+from repro.checkpoint.snapshot import Checkpoint, pages_between
 from repro.heap.base import PAGE_SIZE
 
 
-class FakeState:
+class FakeMachine:
     instr_count = 1234
+
+
+class FakeMeta:
+    instr_count = 1234
+    machine = FakeMachine()
+    allocator = ()
+    extension = ()
+    randomized = False
 
 
 def test_bytes_per_checkpoint_average():
@@ -14,6 +22,13 @@ def test_bytes_per_checkpoint_average():
     assert stats.bytes_per_checkpoint == 0.0
     stats.per_checkpoint_pages = [2, 4, 6]
     assert stats.bytes_per_checkpoint == 4 * PAGE_SIZE
+
+
+def test_bytes_per_checkpoint_prefers_measured_bytes():
+    stats = CheckpointStats()
+    stats.per_checkpoint_pages = [2, 4, 6]
+    stats.per_checkpoint_bytes = [100, 300]
+    assert stats.bytes_per_checkpoint == 200.0
 
 
 def test_bytes_per_second():
@@ -26,14 +41,69 @@ def test_bytes_per_second():
     assert stats.bytes_per_second(0) == 0.0
 
 
+def test_bytes_per_second_prefers_measured_bytes():
+    stats = CheckpointStats()
+    stats.pages_copied_total = 10
+    stats.per_checkpoint_bytes = [4096, 4096]
+    stats.per_checkpoint_interval = [1000, 1000]
+    assert stats.bytes_per_second(10_000) == 8192 / 0.02
+
+
 def test_bytes_per_second_empty():
     assert CheckpointStats().bytes_per_second(10_000) == 0.0
 
 
 def test_checkpoint_repr_and_fields():
-    ck = Checkpoint(index=3, time_ns=2_500_000_000, state=FakeState(),
-                    cow_pages=7, page_size=PAGE_SIZE)
+    pages = {0: b"a" * PAGE_SIZE, 3: b"b" * PAGE_SIZE}
+    ck = Checkpoint(index=3, time_ns=2_500_000_000, meta=FakeMeta(),
+                    pages=pages, mapped_bytes=4 * PAGE_SIZE,
+                    dirty=frozenset(pages), is_keyframe=False)
     assert ck.instr_count == 1234
-    assert ck.space_bytes == 7 * PAGE_SIZE
+    assert ck.cow_pages == 2
+    assert ck.payload_bytes == 2 * PAGE_SIZE
+    # space_bytes defaults to payload size; dedupe passes a smaller
+    # retained figure explicitly
+    assert ck.space_bytes == 2 * PAGE_SIZE
     text = repr(ck)
-    assert "#3" in text and "2.500" in text and "cow_pages=7" in text
+    assert "#3" in text and "2.500" in text and "cow_pages=2" in text
+    assert "delta" in text
+
+
+def test_checkpoint_delta_chain_resolution():
+    key_pages = {0: bytes([1]) * PAGE_SIZE, 1: bytes([2]) * PAGE_SIZE}
+    key = Checkpoint(index=0, time_ns=0, meta=FakeMeta(),
+                     pages=key_pages, mapped_bytes=2 * PAGE_SIZE,
+                     dirty=frozenset(key_pages), is_keyframe=True)
+    delta_pages = {1: bytes([9]) * PAGE_SIZE}
+    delta = Checkpoint(index=1, time_ns=1, meta=FakeMeta(),
+                       pages=delta_pages, mapped_bytes=3 * PAGE_SIZE,
+                       dirty=frozenset(delta_pages), parent=key, prev=key)
+    assert delta.chain_length == 1
+    assert delta.resolve_page(0) == key_pages[0]       # from keyframe
+    assert delta.resolve_page(1) == delta_pages[1]     # delta wins
+    assert delta.resolve_page(2) == bytes(PAGE_SIZE)   # grown, unwritten
+    snap = delta.materialize()
+    buf, dirty = snap.memory
+    assert buf == key_pages[0] + delta_pages[1] + bytes(PAGE_SIZE)
+    assert dirty == frozenset({1})
+
+
+def test_pages_between_diff_sets():
+    key = Checkpoint(index=0, time_ns=0, meta=FakeMeta(),
+                     pages={0: bytes(PAGE_SIZE)}, mapped_bytes=PAGE_SIZE,
+                     dirty=frozenset({0}), is_keyframe=True)
+    a = Checkpoint(index=1, time_ns=1, meta=FakeMeta(),
+                   pages={1: bytes(PAGE_SIZE)}, mapped_bytes=2 * PAGE_SIZE,
+                   dirty=frozenset({1}), parent=key, prev=key)
+    b = Checkpoint(index=2, time_ns=2, meta=FakeMeta(),
+                   pages={2: bytes(PAGE_SIZE)}, mapped_bytes=3 * PAGE_SIZE,
+                   dirty=frozenset({2}), parent=a, prev=a)
+    assert pages_between(b, b) == set()
+    assert pages_between(b, a) == {2}
+    assert pages_between(a, b) == {2}
+    assert pages_between(b, key) == {1, 2}
+    # unrelated chains have no common ancestor -> None (full restore)
+    other = Checkpoint(index=9, time_ns=9, meta=FakeMeta(),
+                       pages={}, mapped_bytes=0, dirty=frozenset(),
+                       is_keyframe=True)
+    assert pages_between(b, other) is None
