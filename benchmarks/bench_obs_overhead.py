@@ -1,0 +1,154 @@
+"""Telemetry overhead: disabled instrumentation must be free.
+
+The telemetry subsystem is off by default, and "off" has to mean off:
+a disabled registry hands out no instruments, the VM attaches no
+metrics object, and nothing on the dispatch hot path calls into
+``repro.obs``.  Two shape targets, on one SPEC-like kernel and one
+allocation-intensive kernel:
+
+1. **Zero simulated overhead** -- a run with telemetry disabled charges
+   exactly the same simulated nanoseconds as a run with no telemetry
+   object at all (they are the same code path), and enabling telemetry
+   also charges the same simulated time: instruments observe the
+   simulation, they are not part of its cost model.
+2. **Bounded wall-clock overhead** -- enabling full instrumentation
+   (VM counter batching + heap instruments + checkpoint instruments)
+   stays within a small factor of the uninstrumented run; the disabled
+   case stays within noise.
+
+Also runnable as a script: ``python benchmarks/bench_obs_overhead.py``
+writes ``BENCH_obs.json`` so CI tracks the trajectory.
+"""
+
+import dataclasses
+import json
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # script mode without PYTHONPATH=src
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.checkpoint.manager import CheckpointManager
+from repro.obs.telemetry import Telemetry
+from repro.process import Process
+from repro.workloads import PROFILES, build_kernel
+
+#: One large-working-set SPEC kernel, one allocation-intensive kernel.
+SUBJECTS = ("256.bzip2", "cfrac")
+
+#: Enough rounds that per-run wall time is tens of milliseconds, so
+#: ratios are measured above timer noise.
+ROUNDS = 120
+
+#: Repetitions per configuration; the minimum is reported (standard
+#: practice for wall-clock microbenchmarks).
+REPEATS = 5
+
+
+def _run_once(program, telemetry):
+    process = Process(program)
+    if telemetry is not None:
+        process.attach_telemetry(telemetry)
+    manager = CheckpointManager(process, adaptive=False,
+                                telemetry=telemetry)
+    t0 = time.perf_counter()
+    manager.run()
+    wall_s = time.perf_counter() - t0
+    return process.clock.now_ns, process.instr_count, wall_s
+
+
+def _measure(program, mode: str) -> dict:
+    best = None
+    for _ in range(REPEATS):
+        if mode == "none":
+            telemetry = None
+        elif mode == "disabled":
+            telemetry = Telemetry.disabled()
+        else:
+            telemetry = Telemetry()
+        sim_ns, instrs, wall_s = _run_once(program, telemetry)
+        if best is None or wall_s < best["wall_s"]:
+            best = {"sim_ns": sim_ns, "instrs": instrs, "wall_s": wall_s}
+    if mode == "enabled":
+        best["metric_instructions"] = \
+            telemetry.metrics.value("vm.instructions")
+        best["metric_mallocs"] = telemetry.metrics.value("heap.mallocs")
+    return best
+
+
+_RESULTS = None
+
+
+def obs_overhead() -> dict:
+    """Measure each subject under none/disabled/enabled telemetry."""
+    global _RESULTS
+    if _RESULTS is not None:
+        return _RESULTS
+    results = {}
+    for name in SUBJECTS:
+        profile = dataclasses.replace(PROFILES[name], rounds=ROUNDS)
+        program = build_kernel(profile)
+        entry = {mode: _measure(program, mode)
+                 for mode in ("none", "disabled", "enabled")}
+        entry["disabled_wall_ratio"] = (
+            entry["disabled"]["wall_s"] / entry["none"]["wall_s"])
+        entry["enabled_wall_ratio"] = (
+            entry["enabled"]["wall_s"] / entry["none"]["wall_s"])
+        results[name] = entry
+    _RESULTS = results
+    return results
+
+
+def test_disabled_telemetry_adds_zero_simulated_time(once):
+    results = once(obs_overhead)
+    for name, entry in results.items():
+        assert entry["disabled"]["sim_ns"] == entry["none"]["sim_ns"], name
+        assert entry["enabled"]["sim_ns"] == entry["none"]["sim_ns"], name
+        assert entry["disabled"]["instrs"] == entry["none"]["instrs"], name
+
+
+def test_enabled_counters_match_the_run(once):
+    results = once(obs_overhead)
+    for name, entry in results.items():
+        assert entry["enabled"]["metric_instructions"] == \
+            entry["enabled"]["instrs"], name
+        assert entry["enabled"]["metric_mallocs"] > 0, name
+
+
+def render(results: dict) -> str:
+    lines = ["subject        sim ms   none ms  disabled  enabled"]
+    for name, entry in results.items():
+        lines.append(
+            f"{name:<12} {entry['none']['sim_ns'] / 1e6:>8.1f}"
+            f" {entry['none']['wall_s'] * 1e3:>9.1f}"
+            f" {entry['disabled_wall_ratio']:>8.2f}x"
+            f" {entry['enabled_wall_ratio']:>7.2f}x")
+    return "\n".join(lines)
+
+
+def main(out_path: str = "BENCH_obs.json") -> int:
+    results = obs_overhead()
+    print(render(results))
+    sim_zero = all(
+        entry["disabled"]["sim_ns"] == entry["none"]["sim_ns"]
+        and entry["enabled"]["sim_ns"] == entry["none"]["sim_ns"]
+        for entry in results.values())
+    payload = {
+        "benchmark": "obs_overhead",
+        "rounds": ROUNDS,
+        "repeats": REPEATS,
+        "disabled_sim_overhead_is_zero": sim_zero,
+        "subjects": results,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    worst = max(e["disabled_wall_ratio"] for e in results.values())
+    print(f"\nwrote {out_path} (sim overhead zero: {sim_zero}; "
+          f"worst disabled wall ratio: {worst:.2f}x)")
+    return 0 if sim_zero else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -3,7 +3,7 @@ the cached three-configuration overhead sweep."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.apps.base import App, Workload
@@ -13,6 +13,7 @@ from repro.baselines.rx import RxRuntime, RxSessionResult
 from repro.checkpoint.manager import DEFAULT_INTERVAL, CheckpointManager
 from repro.core.runtime import FirstAidConfig, FirstAidRuntime, SessionResult
 from repro.heap.extension import ExtensionMode
+from repro.obs.telemetry import Telemetry
 from repro.process import Process
 from repro.vm.program import Program
 from repro.workloads import ALLOC_INTENSIVE, SPEC_INT2000, build_kernel
@@ -91,6 +92,9 @@ class OverheadRun:
     #: Real bytes held by the live checkpoint history at run end
     #: (deduped page payloads), not the cow_pages * page_size estimate.
     retained_bytes: int = 0
+    #: Selected telemetry counters from the run's metrics registry
+    #: (instructions, heap ops, checkpoint work); see overhead_run.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
 
 _SUBJECTS: Optional[List[Subject]] = None
@@ -128,9 +132,11 @@ def overhead_run(subject: Subject, config: str) -> OverheadRun:
     mode = ExtensionMode.OFF if config == "off" else ExtensionMode.NORMAL
     process = Process(subject.program, input_tokens=subject.tokens,
                       mode=mode)
+    telemetry = Telemetry()
+    process.attach_telemetry(telemetry)
     run = OverheadRun(0.0, 0, 0, 0)
     if config == "full":
-        manager = CheckpointManager(process)
+        manager = CheckpointManager(process, telemetry=telemetry)
         manager.run()
         stats = manager.stats
         run.bytes_per_checkpoint = stats.bytes_per_checkpoint
@@ -145,6 +151,13 @@ def overhead_run(subject: Subject, config: str) -> OverheadRun:
     run.instrs = process.instr_count
     run.peak_heap_bytes = process.allocator.peak_heap_bytes
     run.peak_metadata_bytes = process.extension.peak_metadata_bytes
+    snap = telemetry.metrics.snapshot()
+    run.metrics = {
+        name: value
+        for group in ("counters", "gauges")
+        for name, value in snap[group].items()
+        if name.startswith(("vm.", "heap.", "checkpoint."))
+    }
     _RUN_CACHE[key] = run
     return run
 

@@ -85,6 +85,25 @@ class CheckpointStats:
         return total_bytes / (total_ns / 1e9)
 
 
+class _CheckpointInstruments:
+    """Registry instruments mirroring :class:`CheckpointStats`."""
+
+    __slots__ = ("captures", "keyframes", "pages_copied", "delta_bytes",
+                 "dirty_pages", "rollbacks", "pages_restored",
+                 "full_restores", "interval")
+
+    def __init__(self, registry):
+        self.captures = registry.counter("checkpoint.captures")
+        self.keyframes = registry.counter("checkpoint.keyframes")
+        self.pages_copied = registry.counter("checkpoint.pages_copied")
+        self.delta_bytes = registry.counter("checkpoint.delta_bytes")
+        self.dirty_pages = registry.histogram("checkpoint.dirty_pages")
+        self.rollbacks = registry.counter("checkpoint.rollbacks")
+        self.pages_restored = registry.counter("checkpoint.pages_restored")
+        self.full_restores = registry.counter("checkpoint.full_restores")
+        self.interval = registry.gauge("checkpoint.interval_instrs")
+
+
 class CheckpointManager:
     """Periodic checkpointing and rollback for one process."""
 
@@ -97,7 +116,8 @@ class CheckpointManager:
                  events: Optional[EventLog] = None,
                  enabled: bool = True,
                  incremental: bool = True,
-                 keyframe_every: int = DEFAULT_KEYFRAME_EVERY):
+                 keyframe_every: int = DEFAULT_KEYFRAME_EVERY,
+                 telemetry=None):
         if keyframe_every < 1:
             raise ValueError("keyframe_every must be >= 1")
         self.process = process
@@ -126,6 +146,9 @@ class CheckpointManager:
         #: payload -> payload intern table deduping identical page
         #: contents across checkpoints.
         self._page_cache: Dict[bytes, bytes] = {}
+        self._tm = (_CheckpointInstruments(telemetry.metrics)
+                    if telemetry is not None and telemetry.enabled
+                    else None)
 
     # ------------------------------------------------------------------
 
@@ -179,6 +202,15 @@ class CheckpointManager:
         stats.per_checkpoint_pages.append(cow_pages)
         stats.per_checkpoint_bytes.append(delta_bytes)
         stats.per_checkpoint_interval.append(self.interval)
+        tm = self._tm
+        if tm is not None:
+            tm.captures.inc()
+            if keyframe:
+                tm.keyframes.inc()
+            tm.pages_copied.inc(cow_pages)
+            tm.delta_bytes.inc(delta_bytes)
+            tm.dirty_pages.observe(cow_pages)
+            tm.interval.set(self.interval)
         self.events.emit(process.clock.now_ns, "checkpoint",
                          index=ck.index, instr=ck.instr_count,
                          cow_pages=cow_pages, interval=self.interval,
@@ -310,6 +342,8 @@ class CheckpointManager:
             process.restore(checkpoint.materialize())
             pages_restored = checkpoint.mapped_bytes // PAGE_SIZE
             self.stats.full_restores += 1
+            if self._tm is not None:
+                self._tm.full_restores.inc()
         costs = process.costs
         process.clock.charge(costs.restore_base_ns
                              + pages_restored * costs.page_restore_ns)
@@ -318,6 +352,9 @@ class CheckpointManager:
         self._mem_version = mem.version
         self.stats.rollbacks += 1
         self.stats.pages_restored_total += pages_restored
+        if self._tm is not None:
+            self._tm.rollbacks.inc()
+            self._tm.pages_restored.inc(pages_restored)
         self.events.emit(process.clock.now_ns, "rollback",
                          to_index=checkpoint.index,
                          instr=checkpoint.instr_count,

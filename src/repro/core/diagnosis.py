@@ -47,6 +47,7 @@ from repro.core.heap_marking import HeapMarking, MarkCorruption
 from repro.core.patches import PatchPool, RuntimePatch
 from repro.heap.extension import ExtensionMode, Manifestations
 from repro.monitors.base import FailureEvent
+from repro.obs.telemetry import Telemetry
 from repro.process import Process
 from repro.util.callsite import CallSite
 from repro.util.events import EventLog
@@ -102,7 +103,8 @@ class DiagnosticEngine:
                  window_intervals: int = 3,
                  max_rollbacks: int = 200,
                  use_heap_marking: bool = True,
-                 site_search: str = "binary"):
+                 site_search: str = "binary",
+                 telemetry: Optional[Telemetry] = None):
         if site_search not in ("binary", "linear"):
             raise ValueError(f"site_search must be 'binary' or "
                              f"'linear', not {site_search!r}")
@@ -110,6 +112,11 @@ class DiagnosticEngine:
         self.manager = manager
         self.pool = pool
         self.events = events if events is not None else EventLog()
+        self.telemetry = telemetry or Telemetry.disabled()
+        self._m_iterations = \
+            self.telemetry.metrics.counter("diagnosis.iterations")
+        self._m_rollbacks = \
+            self.telemetry.metrics.counter("diagnosis.rollbacks")
         self.max_checkpoint_search = max_checkpoint_search
         self.window_intervals = window_intervals
         self.max_rollbacks = max_rollbacks
@@ -126,6 +133,12 @@ class DiagnosticEngine:
     # ------------------------------------------------------------------
 
     def diagnose(self, failure: FailureEvent) -> Diagnosis:
+        with self.telemetry.span("diagnosis") as span:
+            diag = self._diagnose(failure)
+            span.set(verdict=diag.verdict.value, rollbacks=diag.rollbacks)
+            return diag
+
+    def _diagnose(self, failure: FailureEvent) -> Diagnosis:
         window_end = (failure.instr_count
                       + self.window_intervals * self.manager.interval)
         self._rollbacks = 0
@@ -253,25 +266,33 @@ class DiagnosticEngine:
     def _reexecute(self, checkpoint: Checkpoint, policy: DiagnosticPolicy,
                    window_end: int, mark: bool = False) -> _Outcome:
         process = self.process
-        self.manager.rollback_to(checkpoint)
-        self._rollbacks += 1
-        self._entropy_salt += 1
-        process.reseed_entropy(self._entropy_salt)
-        marking: Optional[HeapMarking] = None
-        if mark:
-            marking = HeapMarking(process.mem, process.allocator)
-            marking.apply()
-        saved_costs = process.costs
-        process.set_costs(saved_costs.replay_model())
-        process.set_mode(ExtensionMode.DIAGNOSTIC, policy)
-        try:
-            result = process.run(stop_at=window_end)
-        finally:
-            process.set_costs(saved_costs)
-        manifestations = process.extension.scan_manifestations()
-        mark_corruptions = marking.scan() if marking else []
-        passed = result.reason in (RunReason.STOP, RunReason.HALT,
-                                   RunReason.INPUT_EXHAUSTED)
+        with self.telemetry.span("diagnosis.iteration",
+                                 checkpoint=checkpoint.index) as it_span:
+            with self.telemetry.span("rollback",
+                                     to_index=checkpoint.index):
+                self.manager.rollback_to(checkpoint)
+            self._rollbacks += 1
+            self._m_iterations.inc()
+            self._m_rollbacks.inc()
+            self._entropy_salt += 1
+            process.reseed_entropy(self._entropy_salt)
+            marking: Optional[HeapMarking] = None
+            if mark:
+                marking = HeapMarking(process.mem, process.allocator)
+                marking.apply()
+            saved_costs = process.costs
+            process.set_costs(saved_costs.replay_model())
+            process.set_mode(ExtensionMode.DIAGNOSTIC, policy)
+            try:
+                with self.telemetry.span("reexec"):
+                    result = process.run(stop_at=window_end)
+            finally:
+                process.set_costs(saved_costs)
+            manifestations = process.extension.scan_manifestations()
+            mark_corruptions = marking.scan() if marking else []
+            passed = result.reason in (RunReason.STOP, RunReason.HALT,
+                                       RunReason.INPUT_EXHAUSTED)
+            it_span.set(passed=passed, reason=result.reason.value)
         self.events.emit(
             process.clock.now_ns, "diagnosis.iteration",
             checkpoint=checkpoint.index, passed=passed,

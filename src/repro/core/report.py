@@ -16,6 +16,7 @@ from repro.core.diagnosis import Diagnosis
 from repro.core.patches import RuntimePatch
 from repro.core.validation import ValidationResult
 from repro.heap.extension import IllegalAccess, MMTraceEntry
+from repro.obs.recorder import FlightRecording
 from repro.util.events import EventLog
 
 
@@ -26,6 +27,10 @@ class BugReport:
     recovery_time_ns: int
     validation: Optional[ValidationResult] = None
     diagnosis_log: Optional[EventLog] = None
+    #: Bounded flight-recorder snapshot taken at failure time (last-N
+    #: events, allocations, illegal accesses) -- replaces attaching
+    #: unbounded traces to the report.
+    flight: Optional[FlightRecording] = None
     notes: List[str] = field(default_factory=list)
 
     # -- derived views ---------------------------------------------------
@@ -120,6 +125,10 @@ class BugReport:
             for fn, n_instr in entry.get("by_function", {}).items():
                 out.append(
                     f"        from {n_instr} instruction(s) in {fn}")
+        if self.flight is not None:
+            out.append("6. Flight recorder (bounded, most recent last):")
+            for line in self.flight.render().splitlines():
+                out.append(f"    {line}")
         if self.notes:
             out.append("Notes:")
             out.extend(f"  - {note}" for note in self.notes)

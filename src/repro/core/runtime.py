@@ -24,6 +24,7 @@ from repro.heap.base import DEFAULT_LIMIT
 from repro.heap.extension import ExtensionMode
 from repro.heap.quarantine import DEFAULT_THRESHOLD
 from repro.monitors import ErrorMonitor, FailureEvent, default_monitors
+from repro.obs.telemetry import Telemetry
 from repro.process import Process
 from repro.util.events import EventLog
 from repro.util.simclock import CostModel
@@ -62,6 +63,14 @@ class FirstAidConfig:
     pool_path: Optional[str] = None    # persistent patch pool (JSON)
     max_recovery_attempts: int = 2
     entropy_seed: int = 1
+    #: Enable the telemetry subsystem (metrics registry, span tracing,
+    #: flight recorder).  Off by default: production overhead first.
+    telemetry: bool = False
+    #: Ring-buffer bound on the runtime's event log in normal mode
+    #: (None = unbounded, the pre-telemetry behaviour).  Long normal
+    #: runs emit one checkpoint event per interval forever; the bound
+    #: keeps the log's footprint constant.
+    max_events: Optional[int] = 4096
 
 
 @dataclass
@@ -99,9 +108,13 @@ class FirstAidRuntime:
                  pool: Optional[PatchPool] = None,
                  monitors: Optional[List[ErrorMonitor]] = None,
                  costs: Optional[CostModel] = None,
-                 events: Optional[EventLog] = None):
+                 events: Optional[EventLog] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.config = config or FirstAidConfig()
-        self.events = events if events is not None else EventLog()
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry(enabled=self.config.telemetry))
+        self.events = events if events is not None \
+            else EventLog(max_events=self.config.max_events)
         self.pool = pool or self._load_pool(program.name)
         self.process = Process(
             program,
@@ -118,6 +131,9 @@ class FirstAidRuntime:
         self.process.extension.policy = self.policy
         self.process.extension.patch_memory_limit = \
             self.config.max_patch_memory
+        self.process.attach_telemetry(self.telemetry)
+        if self.telemetry.enabled:
+            self.events.tap = self.telemetry.recorder.record_event
         self.manager = CheckpointManager(
             self.process,
             interval=self.config.checkpoint_interval,
@@ -128,11 +144,13 @@ class FirstAidRuntime:
             events=self.events,
             incremental=self.config.incremental_checkpoints,
             keyframe_every=self.config.keyframe_every,
+            telemetry=self.telemetry,
         )
         self.monitors = monitors if monitors is not None \
             else default_monitors()
         self.validator = ValidationEngine(
-            self.config.validation_iterations, self.events)
+            self.config.validation_iterations, self.events,
+            telemetry=self.telemetry)
         self.recoveries: List[RecoveryRecord] = []
 
     def _load_pool(self, program_name: str) -> PatchPool:
@@ -185,14 +203,24 @@ class FirstAidRuntime:
     # ------------------------------------------------------------------
 
     def _handle_failure(self, failure: FailureEvent) -> RecoveryRecord:
+        with self.telemetry.span("recovery",
+                                 failure=failure.describe()) as span:
+            record = self._handle_failure_traced(failure)
+            span.set(succeeded=record.succeeded,
+                     recovery_time_ns=record.recovery_time_ns)
+            return record
+
+    def _handle_failure_traced(self,
+                               failure: FailureEvent) -> RecoveryRecord:
         record = RecoveryRecord(failure=failure)
         t_start = self.process.clock.now_ns
-        diag_log = EventLog()
+        diag_log = EventLog(max_events=self.config.max_events)
         engine = DiagnosticEngine(
             self.process, self.manager, self.pool, diag_log,
             max_checkpoint_search=self.config.max_checkpoint_search,
             window_intervals=self.config.window_intervals,
-            max_rollbacks=self.config.max_rollbacks)
+            max_rollbacks=self.config.max_rollbacks,
+            telemetry=self.telemetry)
         diagnosis = engine.diagnose(failure)
         record.diagnosis = diagnosis
         for event in diag_log:
@@ -252,12 +280,17 @@ class FirstAidRuntime:
             else:
                 for patch in diagnosis.patches:
                     patch.validated = True
+        flight = None
+        if self.telemetry.enabled:
+            flight = self.telemetry.recorder.snapshot(
+                self.process.clock.now_ns)
         record.report = BugReport(
             program_name=self.process.program.name,
             diagnosis=diagnosis,
             recovery_time_ns=record.recovery_time_ns,
             validation=record.validation,
-            diagnosis_log=diag_log)
+            diagnosis_log=diag_log,
+            flight=flight)
         return record
 
     def _recover(self, diagnosis: Diagnosis, window_end: int) -> bool:
@@ -265,14 +298,21 @@ class FirstAidRuntime:
         patches applied; True when the failure region is passed."""
         checkpoint = diagnosis.checkpoint
         for attempt in range(self.config.max_recovery_attempts):
-            self.manager.rollback_to(checkpoint)
-            self.manager.drop_after(checkpoint)
-            self._back_to_normal()
-            self.process.reseed_entropy(
-                self.config.entropy_seed + 7000 + attempt)
-            result = self.process.run(stop_at=window_end)
-            if result.reason in (RunReason.STOP, RunReason.HALT,
-                                 RunReason.INPUT_EXHAUSTED):
+            with self.telemetry.span("recovery.attempt",
+                                     attempt=attempt) as att_span:
+                with self.telemetry.span("rollback",
+                                         to_index=checkpoint.index):
+                    self.manager.rollback_to(checkpoint)
+                self.manager.drop_after(checkpoint)
+                self._back_to_normal()
+                self.process.reseed_entropy(
+                    self.config.entropy_seed + 7000 + attempt)
+                with self.telemetry.span("reexec"):
+                    result = self.process.run(stop_at=window_end)
+                passed = result.reason in (RunReason.STOP, RunReason.HALT,
+                                           RunReason.INPUT_EXHAUSTED)
+                att_span.set(passed=passed)
+            if passed:
                 return True
         return False
 

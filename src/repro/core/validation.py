@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.checkpoint.snapshot import Checkpoint
 from repro.core.patches import PatchPool
 from repro.heap.extension import ExtensionMode, IllegalAccess, MMTraceEntry
+from repro.obs.telemetry import Telemetry
 from repro.process import Process
 from repro.util.events import EventLog
 from repro.vm.machine import RunReason, RunResult
@@ -81,12 +82,26 @@ class ValidationEngine:
     """Validates the patches generated for one diagnosis."""
 
     def __init__(self, iterations: int = 3,
-                 events: Optional[EventLog] = None):
+                 events: Optional[EventLog] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.iterations = iterations
         self.events = events if events is not None else EventLog()
+        self.telemetry = telemetry or Telemetry.disabled()
+        self._m_runs = self.telemetry.metrics.counter("validation.runs")
+        self._m_trials = \
+            self.telemetry.metrics.counter("validation.patch_trials")
 
     def validate(self, process: Process, checkpoint: Checkpoint,
                  pool: PatchPool, window_end: int) -> ValidationResult:
+        with self.telemetry.span("validation",
+                                 checkpoint=checkpoint.index) as span:
+            result = self._validate(process, checkpoint, pool, window_end)
+            span.set(consistent=result.consistent,
+                     clone_time_ns=result.time_ns)
+            return result
+
+    def _validate(self, process: Process, checkpoint: Checkpoint,
+                  pool: PatchPool, window_end: int) -> ValidationResult:
         result = ValidationResult(consistent=True)
         saved_triggers = {p.patch_id: p.trigger_count
                           for p in pool.patches()}
@@ -96,9 +111,20 @@ class ValidationEngine:
         state = checkpoint.materialize()
         try:
             for i in range(self.iterations):
-                trace = self._one_iteration(
-                    process, state, pool, window_end, seed=101 + i,
-                    result=result)
+                clone_ns_before = result.time_ns
+                with self.telemetry.span("validation.run",
+                                         seed=101 + i) as run_span:
+                    trace = self._one_iteration(
+                        process, state, pool, window_end, seed=101 + i,
+                        result=result)
+                    # Validation runs on a clone off the recovery path;
+                    # its cost is clone-clock time, recorded as an
+                    # attribute rather than main-clock width.
+                    run_span.set(
+                        passed=trace.passed,
+                        clone_time_ns=result.time_ns - clone_ns_before)
+                self._m_runs.inc()
+                self._m_trials.inc(len(pool.patches()))
                 result.iterations.append(trace)
             result.baseline_mm_trace = self._baseline_trace(
                 process, state, window_end, result)

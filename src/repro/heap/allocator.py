@@ -130,6 +130,17 @@ class LeaAllocator:
     def free_bytes(self) -> int:
         return sum(c.size for c in self.iter_free_chunks())
 
+    def stats(self) -> Dict[str, int]:
+        """Point-in-time allocator statistics, as one mapping (consumed
+        by the telemetry heap instruments and the bench harness)."""
+        return {
+            "mallocs": self.n_mallocs,
+            "frees": self.n_frees,
+            "live_user_bytes": self.live_user_bytes,
+            "heap_used": self.heap_used,
+            "peak_heap_bytes": self.peak_heap_bytes,
+        }
+
     # ------------------------------------------------------------------
     # bin management
     # ------------------------------------------------------------------

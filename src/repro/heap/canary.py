@@ -17,30 +17,58 @@ this simulation, mirroring the real system:
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.heap.base import Memory
 
 CANARY_BYTE = 0xCB
 
+
+@dataclass
+class CanaryStats:
+    """Tally of canary activity, for the telemetry registry.
+
+    The allocator extension owns one of these and mirrors it into
+    metrics instruments; the check functions update it when passed.
+    """
+
+    fills: int = 0
+    bytes_filled: int = 0
+    checks: int = 0
+    bytes_checked: int = 0
+    corruptions: int = 0
+
 #: The value an 8-byte little-endian load sees in a canary region.
 CANARY_WORD = int.from_bytes(bytes([CANARY_BYTE]) * 8, "little")
 
 
-def canary_fill(mem: Memory, addr: int, size: int) -> None:
+def canary_fill(mem: Memory, addr: int, size: int,
+                stats: Optional[CanaryStats] = None) -> None:
     """Fill ``[addr, addr+size)`` with the canary pattern."""
     if size > 0:
         mem.fill(addr, CANARY_BYTE, size)
+        if stats is not None:
+            stats.fills += 1
+            stats.bytes_filled += size
 
 
-def canary_intact(mem: Memory, addr: int, size: int) -> bool:
+def canary_intact(mem: Memory, addr: int, size: int,
+                  stats: Optional[CanaryStats] = None) -> bool:
     """True iff the whole region still holds the canary pattern."""
     if size <= 0:
         return True
-    return mem.read_bytes(addr, size) == bytes([CANARY_BYTE]) * size
+    if stats is not None:
+        stats.checks += 1
+        stats.bytes_checked += size
+    intact = mem.read_bytes(addr, size) == bytes([CANARY_BYTE]) * size
+    if not intact and stats is not None:
+        stats.corruptions += 1
+    return intact
 
 
-def corrupted_offsets(mem: Memory, addr: int, size: int) -> List[int]:
+def corrupted_offsets(mem: Memory, addr: int, size: int,
+                      stats: Optional[CanaryStats] = None) -> List[int]:
     """Offsets within the region whose canary byte was overwritten.
 
     Used to pinpoint *where* an overflow or dangling write landed; the
@@ -48,5 +76,11 @@ def corrupted_offsets(mem: Memory, addr: int, size: int) -> List[int]:
     """
     if size <= 0:
         return []
+    if stats is not None:
+        stats.checks += 1
+        stats.bytes_checked += size
     data = mem.read_bytes(addr, size)
-    return [i for i, b in enumerate(data) if b != CANARY_BYTE]
+    offs = [i for i, b in enumerate(data) if b != CANARY_BYTE]
+    if offs and stats is not None:
+        stats.corruptions += 1
+    return offs

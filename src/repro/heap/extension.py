@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import HeapCorruptionFault
 from repro.heap.allocator import LeaAllocator
 from repro.heap.base import Memory
-from repro.heap.canary import canary_fill, corrupted_offsets
+from repro.heap.canary import CanaryStats, canary_fill, corrupted_offsets
 from repro.heap.chunk import HEADER_SIZE
 from repro.heap.quarantine import DEFAULT_THRESHOLD, DelayFreeQuarantine
 from repro.util.callsite import CallSite
@@ -222,6 +222,41 @@ class Manifestations:
                     or self.double_free_events)
 
 
+class _HeapInstruments:
+    """The extension's registry instruments (telemetry enabled only).
+
+    malloc/free are already heavyweight operations (policy lookup,
+    canary fills), so direct instrument updates here are fine -- the
+    batching discipline only matters on the per-instruction VM path.
+    """
+
+    __slots__ = ("mallocs", "frees", "bad_frees", "alloc_size",
+                 "patch_triggers", "padding_bytes", "metadata_bytes",
+                 "quarantine_bytes", "quarantine_objects",
+                 "canary_checks", "canary_corruptions",
+                 "live_bytes", "peak_bytes")
+
+    def __init__(self, registry):
+        self.mallocs = registry.counter("heap.mallocs")
+        self.frees = registry.counter("heap.frees")
+        self.bad_frees = registry.counter("heap.bad_frees")
+        self.alloc_size = registry.histogram("heap.alloc_size")
+        self.patch_triggers = registry.counter("heap.patch_triggers")
+        self.padding_bytes = registry.gauge("heap.padding_bytes")
+        self.metadata_bytes = registry.gauge("heap.metadata_bytes")
+        self.quarantine_bytes = registry.gauge("heap.quarantine_bytes")
+        self.quarantine_objects = registry.gauge("heap.quarantine_objects")
+        self.canary_checks = registry.gauge("heap.canary_checks")
+        self.canary_corruptions = registry.gauge("heap.canary_corruptions")
+        self.live_bytes = registry.gauge("heap.live_bytes")
+        self.peak_bytes = registry.gauge("heap.peak_bytes")
+
+    def sync_allocator(self, allocator) -> None:
+        stats = allocator.stats()
+        self.live_bytes.set(stats["live_user_bytes"])
+        self.peak_bytes.set(stats["peak_heap_bytes"])
+
+
 class AllocatorExtension:
     """The allocator extension; the VM routes malloc/free through it."""
 
@@ -268,6 +303,44 @@ class AllocatorExtension:
         self.padding_bytes = 0
         self.peak_padding_bytes = 0
         self.patch_trigger_count = 0
+
+        # Telemetry (attach_telemetry): canary activity tally plus
+        # optional registry instruments and flight-recorder feed.
+        self.canary_stats = CanaryStats()
+        self._tm: Optional[_HeapInstruments] = None
+        self._flight = None
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Register heap instruments and the flight-recorder feed.
+
+        A disabled telemetry object attaches nothing, keeping
+        malloc/free free of instrument updates.
+        """
+        if telemetry is None or not telemetry.enabled:
+            self._tm = None
+            self._flight = None
+            self.quarantine.observer = None
+            return
+        self._tm = _HeapInstruments(telemetry.metrics)
+        self._flight = telemetry.recorder
+
+        def _quarantine_observer(nbytes: int, count: int) -> None:
+            tm = self._tm
+            if tm is not None:
+                tm.quarantine_bytes.set(nbytes)
+                tm.quarantine_objects.set(count)
+
+        self.quarantine.observer = _quarantine_observer
+
+    def _sync_canary_metrics(self) -> None:
+        tm = self._tm
+        if tm is not None:
+            tm.canary_checks.set(self.canary_stats.checks)
+            tm.canary_corruptions.set(self.canary_stats.corruptions)
 
     # ------------------------------------------------------------------
     # helpers
@@ -334,8 +407,10 @@ class AllocatorExtension:
         user_addr = block_addr + decision.pad_pre
 
         if decision.canary_pad:
-            canary_fill(self.mem, block_addr, decision.pad_pre)
-            canary_fill(self.mem, user_addr + size, decision.pad_post)
+            canary_fill(self.mem, block_addr, decision.pad_pre,
+                        self.canary_stats)
+            canary_fill(self.mem, user_addr + size, decision.pad_post,
+                        self.canary_stats)
             self._charge(self.costs.fill_cost(
                 decision.pad_pre + decision.pad_post))
         if decision.fill == "zero":
@@ -343,7 +418,7 @@ class AllocatorExtension:
                 self.mem.fill(user_addr, 0, size)
             self._charge(self.costs.fill_cost(size))
         elif decision.fill == "canary":
-            canary_fill(self.mem, user_addr, size)
+            canary_fill(self.mem, user_addr, size, self.canary_stats)
             self._charge(self.costs.fill_cost(size))
 
         self._alloc_seq += 1
@@ -376,6 +451,21 @@ class AllocatorExtension:
                 seq=self._alloc_seq, op="malloc", user_addr=user_addr,
                 size=size, callsite=callsite, patch_id=decision.patch_id,
                 fill=decision.fill))
+        tm = self._tm
+        if tm is not None:
+            tm.mallocs.inc()
+            tm.alloc_size.observe(size)
+            tm.padding_bytes.set(self.padding_bytes)
+            tm.metadata_bytes.set(self.metadata_bytes)
+            tm.sync_allocator(self.allocator)
+            if decision.patch_id is not None:
+                tm.patch_triggers.inc()
+        if self._flight is not None:
+            self._flight.record_mm(
+                self.clock.now_ns if self.clock else 0, "malloc",
+                user_addr, size,
+                callsite.innermost[0] if callsite else None,
+                decision.patch_id)
         if decision.patch_id is not None:
             self._enforce_patch_memory()
         return user_addr
@@ -409,7 +499,8 @@ class AllocatorExtension:
             obj.state = ObjectState.QUARANTINED
             obj.canary_filled_on_free = decision.canary_fill
             if decision.canary_fill:
-                canary_fill(self.mem, user_addr, obj.user_size)
+                canary_fill(self.mem, user_addr, obj.user_size,
+                            self.canary_stats)
                 self._charge(self.costs.fill_cost(obj.user_size))
             self.quarantine.add(user_addr, obj.user_size, callsite,
                                 decision.canary_fill, decision.patch_id)
@@ -421,6 +512,20 @@ class AllocatorExtension:
                 seq=self._alloc_seq, op="free", user_addr=user_addr,
                 size=obj.user_size, callsite=callsite,
                 patch_id=decision.patch_id, delayed=decision.delay))
+        tm = self._tm
+        if tm is not None:
+            tm.frees.inc()
+            tm.padding_bytes.set(self.padding_bytes)
+            tm.metadata_bytes.set(self.metadata_bytes)
+            tm.sync_allocator(self.allocator)
+            if decision.patch_id is not None:
+                tm.patch_triggers.inc()
+        if self._flight is not None:
+            self._flight.record_mm(
+                self.clock.now_ns if self.clock else 0, "free",
+                user_addr, obj.user_size,
+                callsite.innermost[0] if callsite else None,
+                decision.patch_id)
         if decision.patch_id is not None:
             self._enforce_patch_memory()
 
@@ -441,6 +546,8 @@ class AllocatorExtension:
         if check:
             self._double_free_events.append(
                 DoubleFreeEvent(user_addr, callsite, first_site))
+            if self._tm is not None:
+                self._tm.bad_frees.inc()
             if decision.patch_id is not None:
                 self.patch_trigger_count += 1
             if self.trace_mm:
@@ -509,21 +616,27 @@ class AllocatorExtension:
     def _check_pad_canaries(self, obj: ObjectInfo) -> None:
         if not obj.canary_pad:
             return
-        pre = corrupted_offsets(self.mem, obj.block_addr, obj.pad_pre)
+        stats = self.canary_stats
+        pre = corrupted_offsets(self.mem, obj.block_addr, obj.pad_pre,
+                                stats)
         if pre:
             self._overflow_hits.append(OverflowHit(
                 obj.user_addr, obj.user_size, obj.alloc_site, "pre", pre))
         post_start = obj.user_addr + obj.user_size
-        post = corrupted_offsets(self.mem, post_start, obj.pad_post)
+        post = corrupted_offsets(self.mem, post_start, obj.pad_post,
+                                 stats)
         if post:
             self._overflow_hits.append(OverflowHit(
                 obj.user_addr, obj.user_size, obj.alloc_site, "post", post))
+        self._sync_canary_metrics()
 
     def _check_quarantine_canary(self, obj: ObjectInfo) -> None:
-        offs = corrupted_offsets(self.mem, obj.user_addr, obj.user_size)
+        offs = corrupted_offsets(self.mem, obj.user_addr, obj.user_size,
+                                 self.canary_stats)
         if offs:
             self._dangling_write_hits.append(DanglingWriteHit(
                 obj.user_addr, obj.user_size, obj.free_site, offs))
+        self._sync_canary_metrics()
 
     def scan_manifestations(self) -> Manifestations:
         """Sweep all still-tracked objects for canary corruption and
@@ -579,7 +692,7 @@ class AllocatorExtension:
         if obj is None:
             return
         if obj.state is ObjectState.QUARANTINED:
-            self.illegal_accesses.append(IllegalAccess(
+            self._record_illegal(IllegalAccess(
                 kind="dangling-write" if is_write else "dangling-read",
                 instr_id=instr_id, offset=addr - obj.user_addr,
                 is_write=is_write, site=obj.free_site,
@@ -588,7 +701,7 @@ class AllocatorExtension:
         if obj.state is not ObjectState.LIVE:
             return
         if is_write and (obj.in_pre_pad(addr) or obj.in_post_pad(addr)):
-            self.illegal_accesses.append(IllegalAccess(
+            self._record_illegal(IllegalAccess(
                 kind="overflow-write", instr_id=instr_id,
                 offset=addr - obj.user_addr, is_write=True,
                 site=obj.alloc_site, patch_id=obj.patch_id))
@@ -600,10 +713,18 @@ class AllocatorExtension:
                 for i in range(off, end):
                     obj.written[i] = 1
             elif not all(obj.written[off:end]):
-                self.illegal_accesses.append(IllegalAccess(
+                self._record_illegal(IllegalAccess(
                     kind="uninit-read", instr_id=instr_id, offset=off,
                     is_write=False, site=obj.alloc_site,
                     patch_id=obj.patch_id))
+
+    def _record_illegal(self, access: IllegalAccess) -> None:
+        self.illegal_accesses.append(access)
+        if self._flight is not None:
+            self._flight.record_access(
+                self.clock.now_ns if self.clock else 0, access.kind,
+                f"{access.instr_id[0]}:{access.instr_id[1]}",
+                access.offset, access.is_write)
 
     # ------------------------------------------------------------------
     # snapshot / restore

@@ -51,6 +51,9 @@ class DelayFreeQuarantine:
         self._objects: "OrderedDict[int, QuarantinedObject]" = OrderedDict()
         self._bytes = 0
         self._seq = 0
+        #: Optional telemetry hook, called with (current_bytes,
+        #: object_count) after any occupancy change.
+        self.observer: Optional[Callable[[int, int], None]] = None
         #: Running total of bytes ever quarantined (Table 5's
         #: "accumulated memory space occupied by delay-freed objects").
         self.accumulated_bytes = 0
@@ -70,6 +73,8 @@ class DelayFreeQuarantine:
         self._bytes += user_size
         self.accumulated_bytes += user_size
         self._evict_to_threshold()
+        if self.observer is not None:
+            self.observer(self._bytes, len(self._objects))
         return obj
 
     def contains(self, user_addr: int) -> bool:
@@ -117,6 +122,8 @@ class DelayFreeQuarantine:
         self._bytes -= obj.user_size
         self.evictions += 1
         self._release(obj.user_addr)
+        if self.observer is not None:
+            self.observer(self._bytes, len(self._objects))
         return obj
 
     def drain(self) -> List[QuarantinedObject]:
@@ -126,6 +133,8 @@ class DelayFreeQuarantine:
             self._release(obj.user_addr)
         self._objects.clear()
         self._bytes = 0
+        if self.observer is not None:
+            self.observer(0, 0)
         return drained
 
     # ------------------------------------------------------------------
@@ -145,3 +154,5 @@ class DelayFreeQuarantine:
         self._seq = seq
         self.accumulated_bytes = acc
         self.evictions = ev
+        if self.observer is not None:
+            self.observer(self._bytes, len(self._objects))

@@ -1,0 +1,138 @@
+"""CLI: run an instrumented demo (or app) and render its telemetry.
+
+Usage::
+
+    python -m repro.obs                      # built-in overflow demo
+    python -m repro.obs --app bc             # instrument a registry app
+    python -m repro.obs --jsonl out.jsonl    # also export span/metric rows
+    python -m repro.obs --render out.jsonl   # re-render a prior export
+
+The demo runs a small buggy server under FirstAidRuntime with telemetry
+enabled, survives the injected overflow, and prints the span tree, the
+Table 5 phase breakdown, and the metrics snapshot.  ``--render`` never
+executes anything: it loads a JSONL export and prints the same report
+from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.export import export_jsonl, load_jsonl, render_report
+
+#: The demo program: a server whose request handler overflows a
+#: 32-byte buffer whenever a request exceeds it (same shape as the
+#: paper's buffer-overflow case study).
+DEMO_SERVER = """
+int victim = 0;
+int target = 0;
+int handle(int n) {
+    int buf = malloc(32);
+    int i = 0;
+    while (i < n) { store1(buf + i, 65); i = i + 1; }
+    free(buf);
+    return 0;
+}
+int main() {
+    int hole = malloc(32);
+    victim = malloc(48);
+    target = malloc(48);
+    store(target, 0);
+    store(victim, target);
+    free(hole);
+    while (1) {
+        int op = input();
+        if (op == 0) { halt(); }
+        handle(op);
+        int p = load(victim);
+        store(p, load(p) + 1);
+        output(1);
+    }
+}
+"""
+
+
+def _demo_tokens(triggers: int) -> list:
+    tokens = [8] * 20
+    for _ in range(triggers):
+        tokens += [64] + [8] * 60
+    return tokens + [0]
+
+
+def _run_demo(triggers: int):
+    from repro.core.runtime import FirstAidConfig, FirstAidRuntime
+    from repro.lang import compile_program
+
+    program = compile_program(DEMO_SERVER, "obs-demo")
+    config = FirstAidConfig(checkpoint_interval=2000, telemetry=True)
+    runtime = FirstAidRuntime(program, input_tokens=_demo_tokens(triggers),
+                              config=config)
+    session = runtime.run()
+    return runtime, session, program.name
+
+
+def _run_app(name: str, triggers: int):
+    from repro.apps.registry import get_app
+    from repro.bench.harness import spaced_workload
+    from repro.core.runtime import FirstAidConfig, FirstAidRuntime
+
+    app = get_app(name)
+    wl = spaced_workload(app, triggers)
+    config = FirstAidConfig(telemetry=True)
+    runtime = FirstAidRuntime(app.program(), input_tokens=wl.tokens,
+                              config=config)
+    session = runtime.run()
+    return runtime, session, app.INFO.name
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run an instrumented First-Aid session and render "
+        "its telemetry (spans, phase breakdown, metrics).")
+    parser.add_argument("--app", metavar="NAME",
+                        help="instrument a registry app instead of the "
+                        "built-in overflow demo")
+    parser.add_argument("--triggers", type=int, default=1,
+                        help="number of bug triggers in the workload "
+                        "(default: 1)")
+    parser.add_argument("--jsonl", metavar="PATH",
+                        help="export spans + metrics as JSONL to PATH")
+    parser.add_argument("--render", metavar="PATH",
+                        help="render a previous JSONL export instead "
+                        "of running anything")
+    args = parser.parse_args(argv)
+
+    if args.render:
+        with open(args.render) as fh:
+            loaded = load_jsonl(fh)
+        title = loaded["meta"].get("program", args.render)
+        print(render_report(loaded, title=f"telemetry: {title}"))
+        return 0
+
+    if args.app:
+        runtime, session, name = _run_app(args.app, args.triggers)
+    else:
+        runtime, session, name = _run_demo(args.triggers)
+
+    telemetry = runtime.telemetry
+    now_ns = runtime.process.clock.now_ns
+    print(render_report(telemetry, title=f"telemetry: {name}"))
+    print()
+    print(f"session: reason={session.reason} "
+          f"recoveries={len(session.recoveries)} "
+          f"survived_all={session.survived_all}")
+
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            rows = export_jsonl(telemetry, fh, time_ns=now_ns,
+                                meta={"program": name,
+                                      "time_ns": now_ns,
+                                      "reason": session.reason})
+        print(f"wrote {rows} rows to {args.jsonl}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The Telemetry facade: one object components accept.
+
+Bundles a :class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.tracing.Tracer`, and a
+:class:`~repro.obs.recorder.FlightRecorder` behind a single ``enabled``
+flag.  Components receive a ``Telemetry`` (or None) and attach their
+instruments once at construction; when disabled, the registry hands out
+no instruments and the tracer yields null spans, so no per-operation
+cost is added anywhere.
+
+The facade is deliberately clock-late-bound: the runtime builds its
+process first, then calls :meth:`bind_clock` so spans are stamped with
+that process's simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.tracing import Tracer
+from repro.util.simclock import SimClock
+
+
+class Telemetry:
+    """Metrics + tracing + flight recorder, enabled or disabled as one."""
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 enabled: bool = True,
+                 event_capacity: int = 256,
+                 mm_capacity: int = 256):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(clock, enabled=enabled)
+        self.recorder = FlightRecorder(event_capacity=event_capacity,
+                                       mm_capacity=mm_capacity,
+                                       enabled=enabled)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls(enabled=False)
+
+    def bind_clock(self, clock: SimClock) -> None:
+        self.tracer.bind_clock(clock)
+
+    # -- convenience passthroughs -------------------------------------
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def snapshot(self, time_ns: Optional[int] = None):
+        return self.metrics.snapshot(time_ns)

@@ -102,6 +102,18 @@ class Process:
         self.machine.costs = costs
         self.extension.costs = costs
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a :class:`~repro.obs.telemetry.Telemetry` facade into
+        this process: VM counters on the machine, heap instruments and
+        the flight-recorder feed on the extension, and the tracer's
+        clock.  A disabled facade attaches nothing."""
+        if telemetry is None:
+            return
+        telemetry.bind_clock(self.clock)
+        if telemetry.enabled:
+            self.machine.attach_metrics(telemetry.metrics)
+            self.extension.attach_telemetry(telemetry)
+
     def reseed_entropy(self, seed: int) -> None:
         """Fresh entropy for RAND -- each execution *attempt* gets its
         own environment nondeterminism, which is never checkpointed."""

@@ -5,12 +5,44 @@ Every First-Aid component appends :class:`Event` records to a shared
 diagnosis iterations, patches generated/applied/validated.  The log is
 both the diagnosis log shipped in bug reports (Figure 5, item 2) and the
 primary observability surface for tests.
+
+Two production concerns shape the implementation:
+
+* **Bounded growth.**  A long normal-mode run emits a checkpoint event
+  every interval, forever.  Constructing the log with ``max_events``
+  turns it into a ring buffer that keeps only the most recent records
+  (and counts what it dropped); the runtime uses this in normal mode.
+* **Deterministic rendering.**  Rendered events are diffed across runs
+  and machines, so :meth:`Event.render` canonicalizes payloads: dict
+  keys sort at every nesting level and floats format via ``repr``-exact
+  shortest form, never locale- or insertion-order-dependent.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
+
+
+def canonical(value: Any) -> str:
+    """Deterministic rendering of one payload value.
+
+    Floats use ``repr`` (shortest round-trip form, platform-stable for
+    IEEE doubles); dicts render with sorted keys at every level; lists
+    and tuples render recursively; everything else falls back to
+    ``str``.
+    """
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, dict):
+        inner = ", ".join(f"{k}={canonical(v)}"
+                          for k, v in sorted(value.items(),
+                                             key=lambda kv: str(kv[0])))
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(canonical(v) for v in value) + "]"
+    return str(value)
 
 
 @dataclass(frozen=True)
@@ -27,19 +59,41 @@ class Event:
     data: Dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
-        details = " ".join(f"{k}={v}" for k, v in sorted(self.data.items()))
+        details = " ".join(f"{k}={canonical(v)}"
+                           for k, v in sorted(self.data.items()))
         return f"[{self.time_ns / 1e9:10.6f}s] {self.kind}: {details}"
 
 
 class EventLog:
-    """Append-only event log with simple querying."""
+    """Event log with simple querying.
 
-    def __init__(self) -> None:
-        self._events: List[Event] = []
+    Append-only by default; with ``max_events`` set it becomes a ring
+    buffer bounded to that many records (:attr:`dropped` counts the
+    evicted ones).
+    """
+
+    def __init__(self, max_events: Optional[int] = None):
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = max_events
+        self._events: Union[List[Event], Deque[Event]] = (
+            [] if max_events is None else deque(maxlen=max_events))
+        self.emitted = 0
+        #: Optional observer called with every emitted event (the
+        #: telemetry flight recorder taps the log through this).
+        self.tap: Optional[Callable[[Event], None]] = None
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound so far."""
+        return self.emitted - len(self._events)
 
     def emit(self, time_ns: int, kind: str, **data: Any) -> Event:
         event = Event(time_ns=time_ns, kind=kind, data=data)
         self._events.append(event)
+        self.emitted += 1
+        if self.tap is not None:
+            self.tap(event)
         return event
 
     def __len__(self) -> int:

@@ -43,6 +43,31 @@ from repro.vm.state import Frame, MachineSnapshot
 _MASK64 = (1 << 64) - 1
 
 
+class VMInstruments:
+    """The machine's telemetry counters, batch-flushed.
+
+    The dispatch loop tallies instruction and heap-access counts in
+    plain locals and flushes them here only at run/stop boundaries
+    (exactly like the clock-charging batching), so telemetry adds no
+    per-instruction Python calls; with telemetry disabled the machine
+    holds no instruments at all.
+    """
+
+    __slots__ = ("instructions", "heap_reads", "heap_writes")
+
+    def __init__(self, registry):
+        self.instructions = registry.counter("vm.instructions")
+        self.heap_reads = registry.counter("vm.heap_reads")
+        self.heap_writes = registry.counter("vm.heap_writes")
+
+    def flush(self, instrs: int, reads: int, writes: int) -> None:
+        self.instructions.inc(instrs)
+        if reads:
+            self.heap_reads.inc(reads)
+        if writes:
+            self.heap_writes.inc(writes)
+
+
 class RunReason(Enum):
     HALT = "halt"                  # program executed HALT or main returned
     STOP = "stop"                  # reached the requested instruction count
@@ -84,6 +109,8 @@ class Machine:
         self.costs = costs or CostModel()
         self.entropy = DeterministicRNG(entropy_seed)
         self.trace_accesses = False
+        #: Set by attach_metrics(); None keeps the hot path untouched.
+        self.vm_metrics: Optional[VMInstruments] = None
 
         entry = program.entry
         self.frames: List[Frame] = [
@@ -92,6 +119,12 @@ class Machine:
         self.instr_count = 0
         self.halted = False
         self.fault: Optional[SimulatedFault] = None
+
+    def attach_metrics(self, registry) -> None:
+        """Register the VM's counters against an *enabled* registry;
+        a disabled registry leaves the machine uninstrumented."""
+        self.vm_metrics = (VMInstruments(registry)
+                           if getattr(registry, "enabled", False) else None)
 
     # ------------------------------------------------------------------
     # call-site capture
@@ -143,11 +176,22 @@ class Machine:
         # overhead, and the clock value is only *observed* at OUT,
         # MALLOC/FREE (extension bookkeeping), and run exits.
         pending_ns = 0
+        # Telemetry counters batch the same way: locals in the loop,
+        # one flush per exit.  tel is False whenever no registry is
+        # attached, so the disabled path adds no calls.
+        vm_metrics = self.vm_metrics
+        tel = vm_metrics is not None
+        entry_count = self.instr_count
+        n_reads = 0
+        n_writes = 0
 
         while True:
             if stop_at is not None and self.instr_count >= stop_at:
                 if pending_ns:
                     clock.charge(pending_ns)
+                if tel:
+                    vm_metrics.flush(self.instr_count - entry_count,
+                                     n_reads, n_writes)
                 return RunResult(RunReason.STOP)
             frame = frames[-1]
             code = frame.func.code
@@ -169,12 +213,16 @@ class Machine:
                         self.extension.note_access(
                             addr, instr[4], False, (frame.func.name, pc))
                     loc[instr[1]] = mem.read_uint(addr, instr[4])
+                    if tel:
+                        n_reads += 1
                 elif op == isa.STORE:
                     addr = loc[instr[1]] + instr[2]
                     if self.trace_accesses:
                         self.extension.note_access(
                             addr, instr[3], True, (frame.func.name, pc))
                     mem.write_uint(addr, instr[3], loc[instr[4]])
+                    if tel:
+                        n_writes += 1
                 elif op == isa.CONST:
                     loc[instr[1]] = instr[2] & _MASK64
                 elif op == isa.MOV:
@@ -245,6 +293,10 @@ class Machine:
                         self.halted = True
                         if pending_ns:
                             clock.charge(pending_ns)
+                        if tel:
+                            vm_metrics.flush(
+                                self.instr_count - entry_count,
+                                n_reads, n_writes)
                         return RunResult(RunReason.HALT)
                     if finished.ret_dst is not None:
                         frames[-1].locals[finished.ret_dst] = value
@@ -269,6 +321,8 @@ class Machine:
                                 addr, ln, True, (frame.func.name, pc))
                         mem.fill(addr, val & 0xFF, ln)
                         clock.charge(self.costs.fill_cost(ln))
+                        if tel:
+                            n_writes += 1
                 elif op == isa.MEMCPY:
                     dst, src, ln = (loc[instr[1]], loc[instr[2]],
                                     loc[instr[3]])
@@ -279,6 +333,9 @@ class Machine:
                             self.extension.note_access(dst, ln, True, iid)
                         mem.copy_within(dst, src, ln)
                         clock.charge(self.costs.fill_cost(ln))
+                        if tel:
+                            n_reads += 1
+                            n_writes += 1
                 elif op == isa.IN:
                     token = self.input.next()
                     if token is None:
@@ -287,6 +344,10 @@ class Machine:
                         self.instr_count -= 1
                         if pending_ns:
                             clock.charge(pending_ns)
+                        if tel:
+                            vm_metrics.flush(
+                                self.instr_count - entry_count,
+                                n_reads, n_writes)
                         return RunResult(RunReason.INPUT_EXHAUSTED)
                     loc[instr[1]] = token & _MASK64
                 elif op == isa.OUT:
@@ -301,6 +362,9 @@ class Machine:
                     self.halted = True
                     if pending_ns:
                         clock.charge(pending_ns)
+                    if tel:
+                        vm_metrics.flush(self.instr_count - entry_count,
+                                         n_reads, n_writes)
                     return RunResult(RunReason.HALT)
                 elif op == isa.GLOAD:
                     loc[instr[1]] = glb[instr[2]]
@@ -315,6 +379,9 @@ class Machine:
             except SimulatedFault as fault:
                 if pending_ns:
                     clock.charge(pending_ns)
+                if tel:
+                    vm_metrics.flush(self.instr_count - entry_count,
+                                     n_reads, n_writes)
                 fault.instr_id = (frame.func.name, pc)
                 self.fault = fault
                 return RunResult(RunReason.FAULT, fault)

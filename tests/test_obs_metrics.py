@@ -1,0 +1,90 @@
+"""Metrics registry: instruments, disabled mode, snapshot determinism."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    c = registry.counter("a.count")
+    c.inc()
+    c.inc(4)
+    g = registry.gauge("a.level")
+    g.set(10)
+    g.add(-3)
+    assert registry.value("a.count") == 5
+    assert registry.value("a.level") == 7
+    assert registry.value("missing") is None
+
+
+def test_same_name_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("y") is registry.gauge("y")
+    assert registry.histogram("z") is registry.histogram("z")
+
+
+def test_histogram_buckets_and_mean():
+    h = Histogram("h", bounds=(10, 100))
+    for v in (5, 10, 11, 100, 5000):
+        h.observe(v)
+    assert h.counts == [2, 2, 1]     # <=10, <=100, overflow
+    assert h.total == 5
+    assert h.mean == pytest.approx(5126 / 5)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(10, 5))
+
+
+def test_disabled_registry_hands_out_shared_null_instrument():
+    registry = MetricsRegistry(enabled=False)
+    c = registry.counter("a")
+    assert c is NULL_INSTRUMENT
+    assert registry.gauge("b") is NULL_INSTRUMENT
+    assert registry.histogram("c") is NULL_INSTRUMENT
+    # every instrument method is accepted as a no-op
+    c.inc()
+    c.set(5)
+    c.add(1)
+    c.observe(2)
+    snap = registry.snapshot()
+    assert snap["counters"] == {}
+    assert snap["gauges"] == {}
+    assert snap["histograms"] == {}
+    assert NULL_REGISTRY.counter("anything") is NULL_INSTRUMENT
+
+
+def test_snapshot_is_sorted_and_registration_order_free():
+    def build(names):
+        registry = MetricsRegistry()
+        for name in names:
+            registry.counter(name).inc()
+        return registry.snapshot(time_ns=42)
+
+    a = build(["z.one", "a.two", "m.three"])
+    b = build(["m.three", "z.one", "a.two"])
+    assert a == b
+    assert list(a["counters"]) == ["a.two", "m.three", "z.one"]
+    assert a["time_ns"] == 42
+
+
+def test_render_lists_all_instruments():
+    registry = MetricsRegistry()
+    registry.counter("vm.instructions").inc(7)
+    registry.gauge("heap.bytes").set(128)
+    registry.histogram("alloc.size").observe(32)
+    text = registry.render()
+    assert "vm.instructions" in text
+    assert "heap.bytes" in text
+    assert "alloc.size" in text and "total=1" in text
+    assert MetricsRegistry().render() == "  (no instruments)"

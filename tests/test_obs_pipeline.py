@@ -1,0 +1,231 @@
+"""Telemetry threaded through the full pipeline: span accounting,
+metrics determinism, flight recorder, JSONL export, and the CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.runtime import FirstAidConfig, FirstAidRuntime
+from repro.lang import compile_program
+from repro.obs.export import export_jsonl, load_jsonl, render_report
+from repro.obs.tracing import phase_breakdown
+
+SERVER = """
+int victim = 0;
+int target = 0;
+int handle(int n) {
+    int buf = malloc(32);
+    int i = 0;
+    while (i < n) { store1(buf + i, 65); i = i + 1; }
+    free(buf);
+    return 0;
+}
+int main() {
+    int hole = malloc(32);
+    victim = malloc(48);
+    target = malloc(48);
+    store(target, 0);
+    store(victim, target);
+    free(hole);
+    while (1) {
+        int op = input();
+        if (op == 0) { halt(); }
+        handle(op);
+        int p = load(victim);
+        store(p, load(p) + 1);
+        output(1);
+    }
+}
+"""
+
+
+def workload(triggers=1, spacing=60):
+    tokens = [8] * 20
+    for _ in range(triggers):
+        tokens += [64] + [8] * spacing
+    return tokens + [0]
+
+
+def run_instrumented(**config_kw):
+    defaults = dict(checkpoint_interval=2000, telemetry=True)
+    defaults.update(config_kw)
+    program = compile_program(SERVER, "srv")
+    runtime = FirstAidRuntime(program, input_tokens=workload(),
+                              config=FirstAidConfig(**defaults))
+    session = runtime.run()
+    return runtime, session
+
+
+@pytest.fixture(scope="module")
+def recovered():
+    runtime, session = run_instrumented()
+    assert session.survived_all and len(session.recoveries) == 1
+    return runtime, session
+
+
+# ---------------------------------------------------------------------
+# span accounting (acceptance criterion: phases sum to recovery time)
+# ---------------------------------------------------------------------
+
+def test_recovery_span_matches_recorded_recovery_time(recovered):
+    runtime, session = recovered
+    record = session.recoveries[0]
+    roots = runtime.telemetry.tracer.find_roots("recovery")
+    assert len(roots) == 1
+    recovery = roots[0]
+    assert recovery.duration_ns == record.recovery_time_ns
+    assert recovery.attrs["succeeded"] is True
+
+
+def test_phase_totals_sum_to_recovery_time_within_1_percent(recovered):
+    runtime, session = recovered
+    record = session.recoveries[0]
+    recovery = runtime.telemetry.tracer.find_roots("recovery")[0]
+    phases = phase_breakdown(recovery)
+    total = (phases["rollback_ns"] + phases["reexec_ns"]
+             + phases["diagnosis_ns"] + phases["validation_ns"])
+    assert total == pytest.approx(record.recovery_time_ns, rel=0.01)
+    # each measured leaf phase is non-negative and rollback/re-execution
+    # dominate (analysis is free in this cost model)
+    assert phases["rollback_ns"] > 0
+    assert phases["reexec_ns"] > 0
+    assert phases["diagnosis_ns"] >= 0
+
+
+def test_expected_span_shape(recovered):
+    runtime, _ = recovered
+    recovery = runtime.telemetry.tracer.find_roots("recovery")[0]
+    names = [child.name for child in recovery.children]
+    assert names[0] == "diagnosis"
+    assert "recovery.attempt" in names
+    assert names[-1] == "validation"
+    diagnosis = recovery.children[0]
+    iterations = [c for c in diagnosis.children
+                  if c.name == "diagnosis.iteration"]
+    assert iterations
+    for it in iterations:
+        assert [c.name for c in it.children] == ["rollback", "reexec"]
+    validation = recovery.children[-1]
+    runs = [c for c in validation.children if c.name == "validation.run"]
+    assert len(runs) == 3
+    for run in runs:
+        # clone work is off the main clock: zero width, cost in attrs
+        assert run.duration_ns == 0
+        assert run.attrs["clone_time_ns"] > 0
+
+
+def test_validation_clone_time_matches_validation_result(recovered):
+    runtime, session = recovered
+    record = session.recoveries[0]
+    validation = runtime.telemetry.tracer.find_roots("recovery")[0] \
+        .children[-1]
+    assert validation.attrs["clone_time_ns"] == record.validation.time_ns
+
+
+# ---------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------
+
+def test_metrics_cover_every_subsystem(recovered):
+    runtime, _ = recovered
+    metrics = runtime.telemetry.metrics
+    assert metrics.value("vm.instructions") > 0
+    assert metrics.value("heap.mallocs") > 0
+    assert metrics.value("heap.frees") > 0
+    assert metrics.value("checkpoint.captures") >= 1
+    assert metrics.value("checkpoint.rollbacks") >= 1
+    assert metrics.value("diagnosis.iterations") >= 1
+    assert metrics.value("validation.runs") == 3
+
+
+def test_two_identical_runs_produce_identical_telemetry():
+    first, _ = run_instrumented()
+    second, _ = run_instrumented()
+    now = first.process.clock.now_ns
+    assert second.process.clock.now_ns == now
+    assert (first.telemetry.metrics.snapshot(now)
+            == second.telemetry.metrics.snapshot(now))
+    a, b = io.StringIO(), io.StringIO()
+    export_jsonl(first.telemetry, a, time_ns=now)
+    export_jsonl(second.telemetry, b, time_ns=now)
+    assert a.getvalue() == b.getvalue()
+
+
+def test_disabled_telemetry_records_nothing():
+    runtime, session = run_instrumented(telemetry=False)
+    assert session.survived_all
+    assert runtime.telemetry.enabled is False
+    assert runtime.telemetry.tracer.roots == []
+    snap = runtime.telemetry.metrics.snapshot()
+    assert snap["counters"] == {} and snap["histograms"] == {}
+    # the VM attached no metrics object at all
+    assert runtime.process.machine.vm_metrics is None
+
+
+def test_disabled_telemetry_charges_identical_simulated_time():
+    on, _ = run_instrumented(telemetry=True)
+    off, _ = run_instrumented(telemetry=False)
+    assert on.process.clock.now_ns == off.process.clock.now_ns
+
+
+# ---------------------------------------------------------------------
+# flight recorder + bounded logs
+# ---------------------------------------------------------------------
+
+def test_bug_report_carries_bounded_flight_recording(recovered):
+    _, session = recovered
+    report = session.recoveries[0].report
+    assert report.flight is not None
+    recorder_cap = 256
+    assert len(report.flight.events) <= recorder_cap
+    assert len(report.flight.mm_records) <= recorder_cap
+    assert report.flight.mm_records, "mm ring should have fed"
+    text = report.render()
+    assert "Flight recorder" in text
+    assert "malloc(" in text
+
+
+def test_runtime_event_log_is_bounded_by_config():
+    runtime, session = run_instrumented(max_events=16)
+    assert session.survived_all
+    assert runtime.events.max_events == 16
+    assert len(runtime.events) <= 16
+
+
+# ---------------------------------------------------------------------
+# export + CLI
+# ---------------------------------------------------------------------
+
+def test_jsonl_round_trip_and_report(recovered, tmp_path):
+    runtime, _ = recovered
+    now = runtime.process.clock.now_ns
+    path = tmp_path / "obs.jsonl"
+    with open(path, "w") as fh:
+        rows = export_jsonl(runtime.telemetry, fh, time_ns=now,
+                            meta={"program": "srv", "time_ns": now})
+    with open(path) as fh:
+        lines = [json.loads(line) for line in fh]
+    assert len(lines) == rows
+    assert lines[0]["type"] == "meta"
+    assert lines[-1]["type"] == "metrics"
+    with open(path) as fh:
+        loaded = load_jsonl(fh)
+    assert loaded["meta"]["program"] == "srv"
+    live = render_report(runtime.telemetry, title="t")
+    from_file = render_report(loaded, title="t")
+    assert live == from_file
+    assert "phase breakdown (Table 5)" in live
+    assert "recovery" in live and "vm.instructions" in live
+
+
+def test_cli_runs_demo_exports_and_renders(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    path = str(tmp_path / "demo.jsonl")
+    assert main(["--jsonl", path]) == 0
+    out = capsys.readouterr().out
+    assert "phase breakdown (Table 5)" in out
+    assert "survived_all=True" in out
+    assert main(["--render", path]) == 0
+    out = capsys.readouterr().out
+    assert "spans:" in out and "recovery" in out

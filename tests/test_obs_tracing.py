@@ -1,0 +1,140 @@
+"""Span tracing: nesting invariants (property-based), export round-trip,
+and the Table 5 phase breakdown."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.tracing import Span, Tracer, phase_breakdown, rebuild_tree
+from repro.util.simclock import SimClock
+
+# A tree is either a leaf (a simulated-time charge) or an inner node
+# (a charge plus children), driving a nested span build.
+TREES = st.recursive(
+    st.integers(min_value=0, max_value=50),
+    lambda kids: st.tuples(st.integers(min_value=0, max_value=50),
+                           st.lists(kids, max_size=3)),
+    max_leaves=12)
+
+
+def _build(tracer: Tracer, clock: SimClock, node, depth: int) -> None:
+    with tracer.span(f"n{depth}"):
+        if isinstance(node, int):
+            clock.charge(node)
+        else:
+            charge, children = node
+            clock.charge(charge)
+            for child in children:
+                _build(tracer, clock, child, depth + 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(forest=st.lists(TREES, min_size=1, max_size=4))
+def test_span_trees_are_well_formed(forest):
+    clock = SimClock()
+    tracer = Tracer(clock)
+    for tree in forest:
+        _build(tracer, clock, tree, 0)
+
+    assert len(tracer.find_roots("n0")) == len(forest)
+    for root in tracer.roots:
+        spans = list(root.walk())
+        for span in spans:
+            assert span.end_ns is not None
+            assert span.end_ns >= span.start_ns
+            for child in span.children:
+                # children nest within their parent ...
+                assert child.parent_id == span.span_id
+                assert child.start_ns >= span.start_ns
+                assert child.end_ns <= span.end_ns
+            # ... and siblings are ordered and never overlap (the
+            # clock is monotonic and close order is LIFO)
+            for left, right in zip(span.children, span.children[1:]):
+                assert left.end_ns <= right.start_ns
+        # span ids are unique across the tree
+        assert len({s.span_id for s in spans}) == len(spans)
+    # roots never overlap either
+    for left, right in zip(tracer.roots, tracer.roots[1:]):
+        assert left.end_ns <= right.start_ns
+
+
+@settings(max_examples=50, deadline=None)
+@given(forest=st.lists(TREES, min_size=1, max_size=3))
+def test_export_rows_rebuild_identical_trees(forest):
+    clock = SimClock()
+    tracer = Tracer(clock)
+    for tree in forest:
+        _build(tracer, clock, tree, 0)
+    rows = [span.to_dict() for span in tracer.spans()]
+    rebuilt = rebuild_tree(rows)
+    assert len(rebuilt) == len(tracer.roots)
+    for original, copy in zip(tracer.roots, rebuilt):
+        assert original.render() == copy.render()
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(SimClock(), enabled=False)
+    with tracer.span("recovery") as span:
+        span.set(anything=1)   # no-op on the null span
+    assert tracer.roots == []
+    assert tracer.spans() == []
+    # a tracer with no clock bound behaves the same
+    unbound = Tracer(None)
+    with unbound.span("x") as span:
+        span.set(a=2)
+    assert unbound.roots == []
+
+
+def test_span_attrs_and_total_ns():
+    clock = SimClock()
+    tracer = Tracer(clock)
+    with tracer.span("recovery") as recovery:
+        with tracer.span("rollback"):
+            clock.charge(30)
+        with tracer.span("reexec") as reexec:
+            clock.charge(70)
+            reexec.set(passed=True)
+        with tracer.span("rollback"):
+            clock.charge(10)
+    assert recovery.duration_ns == 110
+    assert recovery.total_ns("rollback") == 40
+    assert recovery.total_ns("reexec") == 70
+    assert recovery.children[1].attrs == {"passed": True}
+    assert "passed=True" in recovery.render()
+
+
+def test_phase_breakdown_partitions_the_recovery_span():
+    clock = SimClock()
+    tracer = Tracer(clock)
+    with tracer.span("recovery") as recovery:
+        with tracer.span("diagnosis"):
+            with tracer.span("rollback"):
+                clock.charge(25)
+            with tracer.span("reexec"):
+                clock.charge(100)
+        with tracer.span("rollback"):
+            clock.charge(25)
+        with tracer.span("reexec"):
+            clock.charge(400)
+        clock.charge(7)    # unattributed analysis time
+        with tracer.span("validation"):
+            clock.charge(50)
+    phases = phase_breakdown(recovery)
+    assert phases["rollback_ns"] == 50
+    assert phases["reexec_ns"] == 500
+    assert phases["validation_ns"] == 50
+    assert phases["diagnosis_ns"] == 7
+    assert phases["recovery_ns"] == recovery.duration_ns
+    assert (phases["rollback_ns"] + phases["reexec_ns"]
+            + phases["diagnosis_ns"] + phases["validation_ns"]
+            ) == phases["recovery_ns"]
+
+
+def test_span_dict_round_trip_preserves_attrs():
+    span = Span(3, "x", 10, parent_id=1, attrs={"b": 2, "a": 1})
+    span.end_ns = 20
+    row = span.to_dict()
+    assert list(row["attrs"]) == ["a", "b"]
+    copy = Span.from_dict(row)
+    assert copy.span_id == 3 and copy.name == "x"
+    assert copy.start_ns == 10 and copy.end_ns == 20
+    assert copy.parent_id == 1 and copy.attrs == {"a": 1, "b": 2}

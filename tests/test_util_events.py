@@ -1,6 +1,8 @@
 """Unit tests for the structured event log."""
 
-from repro.util.events import EventLog
+import pytest
+
+from repro.util.events import EventLog, canonical
 
 
 def test_emit_and_len():
@@ -46,3 +48,61 @@ def test_events_are_ordered():
     for i in range(5):
         log.emit(i, f"k{i}")
     assert [e.kind for e in log] == [f"k{i}" for i in range(5)]
+
+
+# ---------------------------------------------------------------------
+# ring-buffer mode
+# ---------------------------------------------------------------------
+
+def test_ring_mode_keeps_most_recent():
+    log = EventLog(max_events=3)
+    for i in range(5):
+        log.emit(i, f"k{i}")
+    assert len(log) == 3
+    assert log.emitted == 5
+    assert log.dropped == 2
+    assert [e.kind for e in log] == ["k2", "k3", "k4"]
+
+
+def test_unbounded_mode_never_drops():
+    log = EventLog()
+    for i in range(100):
+        log.emit(i, "k")
+    assert len(log) == 100
+    assert log.dropped == 0
+
+
+def test_ring_mode_rejects_nonpositive_bound():
+    with pytest.raises(ValueError):
+        EventLog(max_events=0)
+
+
+def test_tap_sees_every_emit_even_dropped_ones():
+    log = EventLog(max_events=2)
+    seen = []
+    log.tap = seen.append
+    for i in range(4):
+        log.emit(i, f"k{i}")
+    assert [e.kind for e in seen] == ["k0", "k1", "k2", "k3"]
+
+
+# ---------------------------------------------------------------------
+# canonical rendering
+# ---------------------------------------------------------------------
+
+def test_canonical_sorts_dict_keys_at_every_level():
+    a = {"b": {"z": 1, "a": 2}, "a": 3}
+    b = {"a": 3, "b": {"a": 2, "z": 1}}
+    assert canonical(a) == canonical(b) == "{a=3, b={a=2, z=1}}"
+
+
+def test_canonical_floats_are_repr_exact():
+    assert canonical(0.1) == "0.1"
+    assert canonical(1 / 3) == repr(1 / 3)
+    assert canonical([0.5, {"x": 2.5}]) == "[0.5, {x=2.5}]"
+
+
+def test_render_uses_canonical_payloads():
+    log = EventLog()
+    log.emit(0, "k", payload={"z": 0.25, "a": [1, 2]})
+    assert "payload={a=[1, 2], z=0.25}" in log.render()
