@@ -25,7 +25,19 @@ def main(argv=None) -> int:
                         "default: all")
     parser.add_argument("--write-md", metavar="PATH",
                         help="write a markdown report to PATH")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="pre-populate the overhead-sweep cache "
+                        "with N worker processes before the "
+                        "experiments run (results are identical; "
+                        "only wall-clock changes)")
     args = parser.parse_args(argv)
+
+    if args.workers > 1:
+        from repro.bench.harness import overhead_sweep
+        t0 = time.time()
+        overhead_sweep(workers=args.workers)
+        print(f"[overhead sweep pre-populated with "
+              f"{args.workers} workers in {time.time() - t0:.1f}s]\n")
 
     names = args.experiments or sorted(EXPERIMENTS)
     sections = []

@@ -170,6 +170,159 @@ def clear_overhead_cache() -> None:
 
 
 # ---------------------------------------------------------------------
+# backend-equivalence session digests (parallel recovery engine)
+# ---------------------------------------------------------------------
+
+@dataclass
+class SessionDigest:
+    """Everything observable about one First-Aid session, split into
+    behavior (must be byte-identical across execution backends) and
+    timing (legitimately differs: parallel batches charge
+    max-over-workers, serial charges the sum).
+
+    ``equivalence_key()`` is the behavior half; the parallel benchmark
+    asserts it matches between ``workers=1`` and ``workers=N``.
+    """
+
+    app: str
+    workers: int
+    reason: str
+    recoveries: int
+    succeeded: Tuple[bool, ...]
+    verdicts: Tuple[str, ...]
+    bug_types: Tuple[Tuple[str, ...], ...]
+    rollbacks: Tuple[int, ...]
+    patch_points: Tuple[Tuple[str, ...], ...]
+    validation_consistent: Tuple[Optional[bool], ...]
+    validation_reasons: Tuple[Tuple[str, ...], ...]
+    #: full bug reports rendered with every timestamp masked
+    reports: Tuple[Optional[str], ...]
+    # -- timing (excluded from the equivalence key) --
+    recovery_time_ns: Tuple[int, ...] = ()
+    validation_time_ns: Tuple[int, ...] = ()
+    recovery_wall_s: Tuple[float, ...] = ()
+    validation_wall_s: Tuple[float, ...] = ()
+    clock_ns: int = 0
+    wall_s: float = 0.0
+    worker_failures: int = 0
+
+    def equivalence_key(self) -> Tuple:
+        return (self.app, self.reason, self.recoveries, self.succeeded,
+                self.verdicts, self.bug_types, self.rollbacks,
+                self.patch_points, self.validation_consistent,
+                self.validation_reasons, self.reports)
+
+
+def run_app_session(app_name: str, triggers: int = 2,
+                    workers: int = 1,
+                    telemetry: bool = False) -> SessionDigest:
+    """Run one app under First-Aid and digest the session.  Top-level
+    (and addressed by app *name*) so the call itself can ship to a
+    worker process when benchmark sessions fan out."""
+    import time as _time
+
+    app = {a.name: a for a in all_apps()}[app_name]
+    wl = spaced_workload(app, triggers)
+    config = FirstAidConfig(workers=workers, telemetry=telemetry)
+    started = _time.perf_counter()
+    runtime, session, _ = run_first_aid(app, wl, config=config)
+    wall = _time.perf_counter() - started
+    recs = session.recoveries
+    digest = SessionDigest(
+        app=app_name,
+        workers=workers,
+        reason=session.reason,
+        recoveries=len(recs),
+        succeeded=tuple(r.succeeded for r in recs),
+        verdicts=tuple(r.diagnosis.verdict.name if r.diagnosis else ""
+                       for r in recs),
+        bug_types=tuple(
+            tuple(b.value for b in r.diagnosis.bug_types)
+            if r.diagnosis else () for r in recs),
+        rollbacks=tuple(r.diagnosis.rollbacks if r.diagnosis else 0
+                        for r in recs),
+        patch_points=tuple(
+            tuple(p.describe() for p in r.diagnosis.patches)
+            if r.diagnosis else () for r in recs),
+        validation_consistent=tuple(
+            r.validation.consistent if r.validation else None
+            for r in recs),
+        validation_reasons=tuple(
+            tuple(r.validation.reasons) if r.validation else ()
+            for r in recs),
+        reports=tuple(
+            r.report.render(redact_times=True) if r.report else None
+            for r in recs),
+        recovery_time_ns=tuple(r.recovery_time_ns for r in recs),
+        validation_time_ns=tuple(
+            r.validation.time_ns if r.validation else 0 for r in recs),
+        recovery_wall_s=tuple(r.wall_s for r in recs),
+        validation_wall_s=tuple(
+            r.validation.wall_s if r.validation else 0.0 for r in recs),
+        clock_ns=runtime.process.clock.now_ns,
+        wall_s=wall,
+        worker_failures=(runtime.executor.worker_failures
+                         if runtime.executor else 0),
+    )
+    runtime.close()
+    return digest
+
+
+def _session_task(spec: Tuple[str, int, int]) -> SessionDigest:
+    name, triggers, workers = spec
+    return run_app_session(name, triggers=triggers, workers=workers)
+
+
+def fan_out_sessions(app_names: List[str], triggers: int = 2,
+                     workers: int = 1,
+                     fan_workers: int = 1) -> List[SessionDigest]:
+    """Digest one session per app.  With ``fan_workers > 1`` whole
+    sessions run in worker processes concurrently; results always merge
+    in app order, so the output is backend-independent."""
+    specs = [(name, triggers, workers) for name in app_names]
+    if fan_workers <= 1:
+        return [_session_task(spec) for spec in specs]
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(max_workers=fan_workers,
+                             mp_context=ctx) as pool:
+        return list(pool.map(_session_task, specs))
+
+
+def _overhead_task(key: Tuple[str, str]) -> Tuple[Tuple[str, str],
+                                                  OverheadRun]:
+    name, config = key
+    subject = next(s for s in overhead_subjects() if s.name == name)
+    return key, overhead_run(subject, config)
+
+
+def overhead_sweep(configs: Tuple[str, ...] = ("off", "ext", "full"),
+                   workers: int = 1) -> Dict[Tuple[str, str],
+                                             OverheadRun]:
+    """Run (and cache) every (subject, configuration) overhead cell.
+    With ``workers > 1`` the independent cells fan out across worker
+    processes; results merge into the cache in deterministic key order
+    either way, so downstream tables are identical."""
+    keys = [(s.name, c) for s in overhead_subjects() for c in configs]
+    missing = [k for k in keys if k not in _RUN_CACHE]
+    if workers > 1 and missing:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=ctx) as pool:
+            for key, run in pool.map(_overhead_task, missing):
+                _RUN_CACHE[key] = run
+    else:
+        for key in missing:
+            _overhead_task(key)
+    return {k: _RUN_CACHE[k] for k in keys}
+
+
+# ---------------------------------------------------------------------
 # throughput binning (Figure 4)
 # ---------------------------------------------------------------------
 

@@ -26,6 +26,20 @@ search), so it leans directly on the checkpoint manager's incremental
 restore: every ``rollback_to`` here rewrites only the pages that differ
 between the current heap and the target checkpoint (plus whatever the
 re-execution dirtied), not the whole heap.
+
+**Parallel mode.**  Probes are deterministic functions of (checkpoint,
+policy, entropy salt), so independent probes can run concurrently.
+With an execution backend attached (``executor``), the engine plans
+each probe wave up front -- the phase-1b checkpoint walk, the phase-2
+group batch, whole linear rounds, and speculative halves of the binary
+search tree -- dispatches it as one batch of
+:class:`~repro.parallel.tasks.ReexecTask`, then *consumes* results
+along the serial decision order.  Consumption replays exactly the
+bookkeeping the serial engine would have done (salt ledger, rollback
+counters, events, spans), so serial and parallel modes produce
+byte-identical diagnoses; only simulated timestamps differ, because
+batch work is charged max-over-workers (DESIGN.md §8).  Without an
+executor the engine runs the original live-process rollback loop.
 """
 
 from __future__ import annotations
@@ -48,6 +62,7 @@ from repro.core.patches import PatchPool, RuntimePatch
 from repro.heap.extension import ExtensionMode, Manifestations
 from repro.monitors.base import FailureEvent
 from repro.obs.telemetry import Telemetry
+from repro.parallel.tasks import ReexecTask, encode_state
 from repro.process import Process
 from repro.util.callsite import CallSite
 from repro.util.events import EventLog
@@ -94,6 +109,118 @@ class _Outcome:
     policy: DiagnosticPolicy
 
 
+@dataclass
+class _ProbeReq:
+    """One planned probe in a batch: checkpoint + policy + its 1-based
+    serial position (which pre-assigns the entropy salt the probe would
+    receive in serial decision order)."""
+
+    checkpoint: Checkpoint
+    policy: DiagnosticPolicy
+    salt_offset: int
+    mark: bool = False
+
+
+class _LiveBatch:
+    """No executor: probes run lazily on the live process, one per
+    consume, exactly as the original serial engine did."""
+
+    def __init__(self, engine: "DiagnosticEngine",
+                 reqs: List[_ProbeReq], window_end: int):
+        self._engine = engine
+        self._reqs = reqs
+        self._window_end = window_end
+
+    def consume(self, index: int) -> "_Outcome":
+        req = self._reqs[index]
+        return self._engine._reexecute(req.checkpoint, req.policy,
+                                       self._window_end, mark=req.mark)
+
+    def finish(self) -> None:
+        pass
+
+
+class _TaskBatch:
+    """A speculative probe batch on an execution backend.
+
+    All tasks dispatch up front; the engine then consumes results along
+    the serial decision order.  Each consume advances the salt ledger
+    and rollback counters exactly as the live probe would have, and
+    charges the main clock *incrementally* under the max-over-workers
+    rule: consumed tasks are assigned round-robin to worker lanes, the
+    batch's cumulative cost is the busiest lane, and consuming task i
+    charges only the delta by which the busiest lane grew.  Rollback
+    cost is modeled as a flat ``restore_base_ns`` per task (a worker
+    clones from the already-materialized snapshot -- fork/COW -- rather
+    than patching pages back into the live heap).  Discarded
+    speculation charges nothing (it ran on spare cores off the critical
+    path) but is counted in ``parallel.tasks_discarded``.
+    """
+
+    def __init__(self, engine: "DiagnosticEngine",
+                 reqs: List[_ProbeReq], window_end: int):
+        self._engine = engine
+        self._reqs = reqs
+        base = engine._entropy_salt
+        self._tasks = [
+            engine._build_probe_task(req, base + req.salt_offset,
+                                     window_end)
+            for req in reqs]
+        self._handle = engine.executor.submit(self._tasks)
+        workers = max(1, engine.executor.workers)
+        self._lanes_rb = [0] * workers
+        self._lanes_rx = [0] * workers
+        self._charged_rb = 0
+        self._charged_rx = 0
+        self._consumed = 0
+
+    def consume(self, index: int) -> "_Outcome":
+        engine = self._engine
+        out = self._handle.result(index)
+        task = self._tasks[index]
+        checkpoint = self._reqs[index].checkpoint
+        engine._entropy_salt = task.salt
+        engine._rollbacks += 1
+        engine._m_iterations.inc()
+        engine._m_rollbacks.inc()
+        lane = self._consumed % len(self._lanes_rb)
+        self._consumed += 1
+        self._lanes_rb[lane] += engine.process.costs.restore_base_ns
+        self._lanes_rx[lane] += out.time_ns
+        delta_rb = max(self._lanes_rb) - self._charged_rb
+        delta_rx = max(self._lanes_rx) - self._charged_rx
+        self._charged_rb += delta_rb
+        self._charged_rx += delta_rx
+        clock = engine.process.clock
+        with engine.telemetry.span("diagnosis.iteration",
+                                   checkpoint=checkpoint.index,
+                                   backend=engine.executor.name,
+                                   lane=lane) as it_span:
+            with engine.telemetry.span("rollback",
+                                       to_index=checkpoint.index):
+                clock.charge(delta_rb)
+            with engine.telemetry.span("reexec"):
+                clock.charge(delta_rx)
+            it_span.set(passed=out.passed,
+                        reason=out.result.reason.value,
+                        task_time_ns=out.time_ns)
+        engine.events.emit(
+            clock.now_ns, "diagnosis.iteration",
+            checkpoint=checkpoint.index, passed=out.passed,
+            reason=out.result.reason.value,
+            overflow_hits=len(out.manifestations.overflow_hits),
+            dangling_write_hits=len(
+                out.manifestations.dangling_write_hits),
+            double_frees=len(out.manifestations.double_free_events),
+            mark_corruptions=len(out.mark_corruptions))
+        return _Outcome(out.result, out.passed, out.manifestations,
+                        out.mark_corruptions, out.policy)
+
+    def finish(self) -> None:
+        self._engine.executor.note_discarded(
+            self._handle.executed - self._consumed)
+
+
 class DiagnosticEngine:
     """Runs diagnosis for one failure of one process."""
 
@@ -104,7 +231,8 @@ class DiagnosticEngine:
                  max_rollbacks: int = 200,
                  use_heap_marking: bool = True,
                  site_search: str = "binary",
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 executor=None):
         if site_search not in ("binary", "linear"):
             raise ValueError(f"site_search must be 'binary' or "
                              f"'linear', not {site_search!r}")
@@ -125,8 +253,14 @@ class DiagnosticEngine:
         #: costs O(M*N) rollbacks instead of O(M log N).
         self.use_heap_marking = use_heap_marking
         self.site_search = site_search
+        #: execution backend for probe batches (see module docstring);
+        #: None keeps the original live-process serial loop.
+        self.executor = executor
         self._rollbacks = 0
         self._entropy_salt = 1000
+        #: encoded snapshots per checkpoint index -- probes from the
+        #: same checkpoint reuse the materialization.
+        self._state_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # public entry
@@ -165,21 +299,30 @@ class DiagnosticEngine:
 
         # Phase 1b: all-preventive probes, newest checkpoint first,
         # with heap marking to expose pre-checkpoint bug triggers.
+        # Probes from different checkpoints are independent, so the
+        # whole walk dispatches as one (speculative) batch; the serial
+        # early-break simply leaves the rest of the batch unconsumed.
         chosen: Optional[Checkpoint] = None
-        for checkpoint in candidates:
-            if self._rollbacks >= self.max_rollbacks:
-                break
-            outcome = self._reexecute(
-                checkpoint, _all_preventive(), window_end,
-                mark=self.use_heap_marking)
-            if outcome.passed and not outcome.mark_corruptions:
-                chosen = checkpoint
-                break
-            if outcome.mark_corruptions:
-                diag.notes.append(
-                    f"checkpoint #{checkpoint.index}: heap marking "
-                    f"exposed {len(outcome.mark_corruptions)} "
-                    f"pre-checkpoint corruption(s); trying earlier")
+        batch = self._dispatch(
+            [_ProbeReq(cp, _all_preventive(), i + 1,
+                       mark=self.use_heap_marking)
+             for i, cp in enumerate(candidates)],
+            window_end)
+        try:
+            for i, checkpoint in enumerate(candidates):
+                if self._rollbacks >= self.max_rollbacks:
+                    break
+                outcome = batch.consume(i)
+                if outcome.passed and not outcome.mark_corruptions:
+                    chosen = checkpoint
+                    break
+                if outcome.mark_corruptions:
+                    diag.notes.append(
+                        f"checkpoint #{checkpoint.index}: heap marking "
+                        f"exposed {len(outcome.mark_corruptions)} "
+                        f"pre-checkpoint corruption(s); trying earlier")
+        finally:
+            batch.finish()
         if chosen is None:
             diag.rollbacks = self._rollbacks
             diag.notes.append(
@@ -192,28 +335,24 @@ class DiagnosticEngine:
                          "diagnosis.checkpoint_identified",
                          index=chosen.index, instr=chosen.instr_count)
 
-        # Phase 2: identify bug types group by group.
+        # Phase 2: identify bug types group by group.  Each probe uses
+        # exposing changes for its group and preventive changes for the
+        # fixed complement, so the probes are mutually independent and
+        # dispatch as one batch.
         identified: List[BugType] = []
-        undecided = list(ALL_BUG_TYPES)
-        for group in CHANGE_GROUPS:
-            if self._rollbacks >= self.max_rollbacks:
-                break
-            policy = self._group_policy(group, undecided, identified)
-            outcome = self._reexecute(chosen, policy, window_end)
-            found = self._interpret_group(group, outcome, diag)
-            for bug_type in group:
-                undecided.remove(bug_type)
-            if not found:
-                continue
-            identified.extend(found)
-            # Coverage check: with everything identified so far
-            # prevented and the rest exposed, does anything still
-            # manifest?  If not, stop searching for more types.
-            if undecided:
-                cover = self._coverage_policy(identified, undecided)
-                outcome = self._reexecute(chosen, cover, window_end)
-                if outcome.passed and not outcome.manifestations.any():
+        batch = self._dispatch(
+            [_ProbeReq(chosen, self._group_policy(group), i + 1)
+             for i, group in enumerate(CHANGE_GROUPS)],
+            window_end)
+        try:
+            for i, group in enumerate(CHANGE_GROUPS):
+                if self._rollbacks >= self.max_rollbacks:
                     break
+                outcome = batch.consume(i)
+                identified.extend(
+                    self._interpret_group(group, outcome, diag))
+        finally:
+            batch.finish()
 
         if not identified:
             diag.rollbacks = self._rollbacks
@@ -305,25 +444,79 @@ class DiagnosticEngine:
                         policy)
 
     # ------------------------------------------------------------------
+    # batch plumbing (parallel mode)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, reqs: List[_ProbeReq], window_end: int):
+        """A batch over the configured backend; the live-process lazy
+        batch when no executor is attached."""
+        if self.executor is None:
+            return _LiveBatch(self, reqs, window_end)
+        return _TaskBatch(self, reqs, window_end)
+
+    def _probe_one(self, checkpoint: Checkpoint,
+                   policy: DiagnosticPolicy, window_end: int,
+                   mark: bool = False) -> _Outcome:
+        """A single probe through the batch protocol (a batch of one),
+        so serial and parallel modes share one code path."""
+        batch = self._dispatch([_ProbeReq(checkpoint, policy, 1, mark)],
+                               window_end)
+        try:
+            return batch.consume(0)
+        finally:
+            batch.finish()
+
+    def _encoded_state(self, checkpoint: Checkpoint) -> tuple:
+        enc = self._state_cache.get(checkpoint.index)
+        if enc is None:
+            enc = encode_state(checkpoint.materialize())
+            self._state_cache[checkpoint.index] = enc
+        return enc
+
+    def _build_probe_task(self, req: _ProbeReq, salt: int,
+                          window_end: int) -> ReexecTask:
+        checkpoint = req.checkpoint
+        enc = self._encoded_state(checkpoint)
+        machine = enc[0]
+        process = self.process
+        # Workers replay from the journal alone; make sure it already
+        # holds every token the probe window could consume (each
+        # instruction reads at most one token).  The live process later
+        # reads the same values back out of the journal, so prefetching
+        # changes nothing behaviorally.
+        need = ((window_end - checkpoint.instr_count)
+                - (process.input.journal_length - machine[4]))
+        if need > 0:
+            process.input.prefetch(need)
+        return ReexecTask(
+            kind="probe",
+            label=f"probe:cp{checkpoint.index}:salt{salt}",
+            state=enc,
+            journal=process.input.journal_slice(0),
+            output_prefix=process.output.entries()[:machine[5]],
+            window_end=window_end,
+            costs=process.costs.replay_model(),
+            heap_limit=process.mem.limit,
+            quarantine_threshold=process.extension
+            .quarantine.threshold_bytes,
+            patch_memory_limit=process.extension.patch_memory_limit,
+            salt=salt,
+            policy=req.policy,
+            mark=req.mark)
+
+    # ------------------------------------------------------------------
     # policies for phase 2
     # ------------------------------------------------------------------
 
-    def _group_policy(self, group: Sequence[BugType],
-                      undecided: Sequence[BugType],
-                      identified: Sequence[BugType]) -> DiagnosticPolicy:
+    def _group_policy(self, group: Sequence[BugType]) -> DiagnosticPolicy:
         """Exposing changes for the group under test; preventive for
-        every other type in (undecided u identified) - group."""
-        others = [b for b in list(undecided) + list(identified)
-                  if b not in group]
+        every other type.  The complement is fixed (Section 4.3's
+        isolation property: only the tested types can manifest), which
+        also makes the three group probes independent of each other's
+        results -- the precondition for dispatching them as one batch."""
+        others = [b for b in ALL_BUG_TYPES if b not in group]
         changes = (changes_for(group, exposing=True)
                    + changes_for(others, exposing=False))
-        return DiagnosticPolicy(alloc_default=changes,
-                                free_default=changes)
-
-    def _coverage_policy(self, identified: Sequence[BugType],
-                         undecided: Sequence[BugType]) -> DiagnosticPolicy:
-        changes = (changes_for(identified, exposing=False)
-                   + changes_for(undecided, exposing=True))
         return DiagnosticPolicy(alloc_default=changes,
                                 free_default=changes)
 
@@ -390,7 +583,7 @@ class DiagnosticEngine:
                       window_end: int) -> List[CallSite]:
         """All candidate call-sites after the checkpoint: observed by a
         fresh all-preventive run (which always passes)."""
-        outcome = self._reexecute(checkpoint, _all_preventive(),
+        outcome = self._probe_one(checkpoint, _all_preventive(),
                                   window_end)
         if bug_type is BugType.UNINIT_READ:
             return list(outcome.policy.seen_alloc_sites)
@@ -423,8 +616,10 @@ class DiagnosticEngine:
         identified: List[CallSite] = []
         remaining = list(universe)
         while remaining and self._rollbacks < self.max_rollbacks:
-            # Round check: expose everything still unidentified.
-            outcome = self._reexecute(
+            # Round check: expose everything still unidentified.  This
+            # probe gates the next round, so it cannot overlap with it;
+            # it runs as a batch of one.
+            outcome = self._probe_one(
                 checkpoint,
                 self._search_policy(bug_type, remaining, all_types),
                 window_end)
@@ -449,12 +644,15 @@ class DiagnosticEngine:
 
     def _bisect_round(self, checkpoint, bug_type, remaining, all_types,
                       window_end) -> Optional[CallSite]:
+        if self.executor is not None and self.executor.workers > 1:
+            return self._bisect_round_speculative(
+                checkpoint, bug_type, remaining, all_types, window_end)
         candidates = list(remaining)
         while len(candidates) > 1:
             if self._rollbacks >= self.max_rollbacks:
                 return None
             half = candidates[:len(candidates) // 2]
-            outcome = self._reexecute(
+            outcome = self._probe_one(
                 checkpoint,
                 self._search_policy(bug_type, half, all_types),
                 window_end)
@@ -462,19 +660,79 @@ class DiagnosticEngine:
                           else candidates[len(half):])
         return candidates[0]
 
+    def _bisect_round_speculative(self, checkpoint, bug_type, remaining,
+                                  all_types, window_end) \
+            -> Optional[CallSite]:
+        """Speculative halving across workers.
+
+        Each bisect probe depends on the previous answer, so the round
+        cannot batch linearly; instead it dispatches a breadth-first
+        slice of the *decision tree* (up to ``workers`` nodes, each
+        node probing the first half of its candidate range) and then
+        walks the serial decision path through the precomputed results.
+        Tree nodes at the same depth share a salt offset -- serial
+        execution would give the depth-d probe salt base+d+1 whichever
+        branch it took -- so the consumed path reproduces the serial
+        salt sequence exactly and the unvisited branches are discarded
+        speculation.
+        """
+        candidates = tuple(remaining)
+        fanout = max(2, self.executor.workers)
+        while len(candidates) > 1:
+            nodes: List[Tuple[int, tuple]] = []
+            queue: List[Tuple[int, tuple]] = [(0, candidates)]
+            while queue and len(nodes) < fanout:
+                depth, cand = queue.pop(0)
+                if len(cand) <= 1:
+                    continue
+                nodes.append((depth, cand))
+                queue.append((depth + 1, cand[:len(cand) // 2]))
+                queue.append((depth + 1, cand[len(cand) // 2:]))
+            reqs = [
+                _ProbeReq(checkpoint,
+                          self._search_policy(
+                              bug_type, list(cand[:len(cand) // 2]),
+                              all_types),
+                          depth + 1)
+                for depth, cand in nodes]
+            index = {cand: i for i, (_, cand) in enumerate(nodes)}
+            batch = self._dispatch(reqs, window_end)
+            try:
+                node = candidates
+                while len(node) > 1 and node in index:
+                    if self._rollbacks >= self.max_rollbacks:
+                        return None
+                    outcome = batch.consume(index[node])
+                    half = node[:len(node) // 2]
+                    node = (half if not outcome.passed
+                            else node[len(node) // 2:])
+            finally:
+                batch.finish()
+            candidates = node
+        return candidates[0]
+
     def _linear_round(self, checkpoint, bug_type, remaining, all_types,
                       window_end) -> Optional[CallSite]:
-        """Ablation baseline: probe one call-site at a time."""
-        for candidate in remaining:
-            if self._rollbacks >= self.max_rollbacks:
-                return None
-            outcome = self._reexecute(
-                checkpoint,
-                self._search_policy(bug_type, [candidate], all_types),
-                window_end)
-            if not outcome.passed:
-                return candidate
-        return None
+        """Ablation baseline: probe one call-site at a time.  The
+        per-candidate probes are independent, so the whole round
+        dispatches as one batch; consumption stops at the first failing
+        candidate (the serial decision), discarding the rest."""
+        reqs = [_ProbeReq(checkpoint,
+                          self._search_policy(bug_type, [candidate],
+                                              all_types),
+                          i + 1)
+                for i, candidate in enumerate(remaining)]
+        batch = self._dispatch(reqs, window_end)
+        try:
+            for i, candidate in enumerate(remaining):
+                if self._rollbacks >= self.max_rollbacks:
+                    return None
+                outcome = batch.consume(i)
+                if not outcome.passed:
+                    return candidate
+            return None
+        finally:
+            batch.finish()
 
 
 def _all_preventive() -> DiagnosticPolicy:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.bugtypes import BugType
@@ -131,6 +131,29 @@ class PatchPool:
     def policy(self) -> "PatchPolicy":
         return PatchPolicy(self)
 
+    def copy(self) -> "PatchPool":
+        """A deep, frozen copy: same patches (including live trigger
+        counts and validation flags) but fully decoupled objects, so
+        mutations on either side never cross over.  Validation clones
+        and re-execution workers run against a copy."""
+        pool = PatchPool(self.program_name)
+        pool._next_id = self._next_id
+        for patch in self._patches.values():
+            pool._patches[patch.patch_id] = replace(patch)
+        return pool
+
+    @classmethod
+    def from_patches(cls, program_name: str,
+                     items: Iterable[dict]) -> "PatchPool":
+        """Rebuild a pool from ``to_json()`` payloads (the wire form a
+        validation task ships to a worker process)."""
+        pool = cls(program_name)
+        for item in items:
+            patch = RuntimePatch.from_json(item)
+            pool._patches[patch.patch_id] = patch
+            pool._next_id = max(pool._next_id, patch.patch_id + 1)
+        return pool
+
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
@@ -194,6 +217,13 @@ class PatchPolicy(ChangePolicy):
     def refresh(self) -> None:
         """Re-read the pool after patches were added or removed."""
         self._rebuild()
+
+    def frozen_copy(self) -> "PatchPolicy":
+        """A policy over a frozen copy of the pool (see
+        :meth:`PatchPool.copy`): clones and workers must not observe
+        patches installed after the copy, and their trigger-count
+        bookkeeping must not bleed into the live pool."""
+        return PatchPolicy(self._pool.copy())
 
     def on_alloc(self, callsite: Optional[CallSite]) -> AllocDecision:
         if callsite is None:

@@ -81,20 +81,31 @@ class BugReport:
 
     # -- rendering ----------------------------------------------------------
 
-    def render(self, mm_trace_limit: int = 20) -> str:
+    def render(self, mm_trace_limit: int = 20,
+               redact_times: bool = False) -> str:
+        """Figure 5 layout.  With ``redact_times`` every time-bearing
+        field is masked: execution backends agree on *what* was
+        diagnosed, patched, and validated byte-for-byte, while the
+        simulated timestamps legitimately differ (max-over-workers vs
+        serial sum), so equivalence checks compare redacted renders."""
         diag = self.diagnosis
         out: List[str] = ["Bug report:"]
         fault = diag.failure.fault if diag.failure else None
         out.append(f"1. Failure coredump: {fault.describe() if fault else 'n/a'}")
-        validation_s = (self.validation.time_ns / 1e9
-                        if self.validation else 0.0)
+        if redact_times:
+            recovery_s = validation_s = "---"
+        else:
+            recovery_s = f"{self.recovery_time_ns / 1e9:.3f}"
+            validation_s = "{:.3f}".format(
+                self.validation.time_ns / 1e9 if self.validation else 0.0)
         out.append(
             f"2. Diagnosis summary: recovery: "
-            f"{self.recovery_time_ns / 1e9:.3f}(s); validation: "
-            f"{validation_s:.3f}(s); rollbacks: {diag.rollbacks}")
+            f"{recovery_s}(s); validation: "
+            f"{validation_s}(s); rollbacks: {diag.rollbacks}")
         if self.diagnosis_log is not None:
             for event in self.diagnosis_log.of_kind("diagnosis"):
-                out.append(f"    {event.render()}")
+                out.append(
+                    f"    {event.render(redact_time=redact_times)}")
 
         triggers = self.patch_trigger_counts()
         bug_desc = ", ".join(b.value for b in diag.bug_types)
@@ -127,8 +138,11 @@ class BugReport:
                     f"        from {n_instr} instruction(s) in {fn}")
         if self.flight is not None:
             out.append("6. Flight recorder (bounded, most recent last):")
-            for line in self.flight.render().splitlines():
-                out.append(f"    {line}")
+            if redact_times:
+                out.append("    (redacted)")
+            else:
+                for line in self.flight.render().splitlines():
+                    out.append(f"    {line}")
         if self.notes:
             out.append("Notes:")
             out.extend(f"  - {note}" for note in self.notes)

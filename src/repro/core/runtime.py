@@ -12,6 +12,7 @@ subsequent failures from the same bug never happen.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
@@ -25,6 +26,7 @@ from repro.heap.extension import ExtensionMode
 from repro.heap.quarantine import DEFAULT_THRESHOLD
 from repro.monitors import ErrorMonitor, FailureEvent, default_monitors
 from repro.obs.telemetry import Telemetry
+from repro.parallel.executor import make_executor
 from repro.process import Process
 from repro.util.events import EventLog
 from repro.util.simclock import CostModel
@@ -63,6 +65,13 @@ class FirstAidConfig:
     pool_path: Optional[str] = None    # persistent patch pool (JSON)
     max_recovery_attempts: int = 2
     entropy_seed: int = 1
+    #: Worker processes for the parallel recovery engine.  1 (default)
+    #: keeps every re-execution in-process on the original serial
+    #: paths; >1 fans diagnosis probes and validation runs out across
+    #: a fork-based worker pool (see repro.parallel and DESIGN.md §8).
+    #: Diagnoses, patches, and verdicts are byte-identical either way;
+    #: simulated recovery/validation times are charged max-over-workers.
+    workers: int = 1
     #: Enable the telemetry subsystem (metrics registry, span tracing,
     #: flight recorder).  Off by default: production overhead first.
     telemetry: bool = False
@@ -84,6 +93,9 @@ class RecoveryRecord:
     report: Optional[BugReport] = None
     succeeded: bool = False
     notes: List[str] = field(default_factory=list)
+    #: real wall-clock seconds handling this failure (host time; the
+    #: parallel benchmark compares this across backends).
+    wall_s: float = 0.0
 
 
 @dataclass
@@ -148,10 +160,19 @@ class FirstAidRuntime:
         )
         self.monitors = monitors if monitors is not None \
             else default_monitors()
+        #: Execution backend shared by diagnosis and validation; None
+        #: (workers <= 1) keeps the legacy in-process serial paths.
+        self.executor = make_executor(self.config.workers, program,
+                                      self.telemetry)
         self.validator = ValidationEngine(
             self.config.validation_iterations, self.events,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry, executor=self.executor)
         self.recoveries: List[RecoveryRecord] = []
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op in serial mode)."""
+        if self.executor is not None:
+            self.executor.close()
 
     def _load_pool(self, program_name: str) -> PatchPool:
         path = self.config.pool_path
@@ -205,7 +226,9 @@ class FirstAidRuntime:
     def _handle_failure(self, failure: FailureEvent) -> RecoveryRecord:
         with self.telemetry.span("recovery",
                                  failure=failure.describe()) as span:
+            started = time.perf_counter()
             record = self._handle_failure_traced(failure)
+            record.wall_s = time.perf_counter() - started
             span.set(succeeded=record.succeeded,
                      recovery_time_ns=record.recovery_time_ns)
             return record
@@ -220,7 +243,8 @@ class FirstAidRuntime:
             max_checkpoint_search=self.config.max_checkpoint_search,
             window_intervals=self.config.window_intervals,
             max_rollbacks=self.config.max_rollbacks,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry,
+            executor=self.executor)
         diagnosis = engine.diagnose(failure)
         record.diagnosis = diagnosis
         for event in diag_log:

@@ -13,25 +13,37 @@ checks that the patch's effect is consistent:
     offset within its memory object (addresses themselves differ run
     to run -- that is the point of the randomization).
 
-Validation operates on a *clone* of the process restored from the
-diagnosis checkpoint, so it runs off the recovery critical path, as the
-paper does on a spare core.  Its cost is reported separately as the
-validation time.
+Validation operates on *clones* restored from the diagnosis checkpoint,
+so it runs off the recovery critical path, as the paper does on a spare
+core.  The three randomized runs plus the unpatched baseline are
+mutually independent, so they dispatch as one batch over an execution
+backend (:mod:`repro.parallel`): in-process with the default
+:class:`~repro.parallel.executor.SerialExecutor`, across worker
+processes with a :class:`~repro.parallel.executor.ForkExecutor`.
+Consistency criteria evaluate on the results merged in task order, so
+the verdict is backend-independent; only the reported validation time
+differs, charged max-over-workers (``schedule_ns``) to model the
+paper's spare-core semantics.  Each run sees a frozen copy of the
+patch pool, so a concurrent patch install cannot leak in and trigger
+accounting never touches the live pool.
 """
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.checkpoint.snapshot import Checkpoint
 from repro.core.patches import PatchPool
-from repro.heap.extension import ExtensionMode, IllegalAccess, MMTraceEntry
+from repro.heap.extension import IllegalAccess, MMTraceEntry
 from repro.obs.telemetry import Telemetry
+from repro.parallel.executor import SerialExecutor, schedule_ns
+from repro.parallel.tasks import ReexecTask, encode_state
 from repro.process import Process
 from repro.util.events import EventLog
-from repro.vm.machine import RunReason, RunResult
+from repro.vm.machine import RunResult
 
 
 @dataclass
@@ -70,6 +82,9 @@ class ValidationResult:
     #: memory-management trace of an *unpatched* re-execution, for the
     #: with/without diff in the bug report (Figure 5, item 4).
     baseline_mm_trace: List[MMTraceEntry] = field(default_factory=list)
+    #: real wall-clock seconds spent validating (host time, not the
+    #: simulated clock) -- what the parallel benchmark measures.
+    wall_s: float = 0.0
 
     @property
     def illegal_access_count(self) -> int:
@@ -83,10 +98,14 @@ class ValidationEngine:
 
     def __init__(self, iterations: int = 3,
                  events: Optional[EventLog] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 executor=None):
         self.iterations = iterations
         self.events = events if events is not None else EventLog()
         self.telemetry = telemetry or Telemetry.disabled()
+        #: execution backend for the validation batch; None builds a
+        #: per-call SerialExecutor over the process's program.
+        self.executor = executor
         self._m_runs = self.telemetry.metrics.counter("validation.runs")
         self._m_trials = \
             self.telemetry.metrics.counter("validation.patch_trials")
@@ -95,7 +114,9 @@ class ValidationEngine:
                  pool: PatchPool, window_end: int) -> ValidationResult:
         with self.telemetry.span("validation",
                                  checkpoint=checkpoint.index) as span:
+            started = time.perf_counter()
             result = self._validate(process, checkpoint, pool, window_end)
+            result.wall_s = time.perf_counter() - started
             span.set(consistent=result.consistent,
                      clone_time_ns=result.time_ns)
             return result
@@ -103,37 +124,41 @@ class ValidationEngine:
     def _validate(self, process: Process, checkpoint: Checkpoint,
                   pool: PatchPool, window_end: int) -> ValidationResult:
         result = ValidationResult(consistent=True)
-        saved_triggers = {p.patch_id: p.trigger_count
-                          for p in pool.patches()}
+        executor = self.executor or SerialExecutor(process.program)
         # Materialize the checkpoint's full state once: with
         # incremental checkpointing this walks the delta chain, so
         # rebuilding it per iteration would repay O(heap) four times.
-        state = checkpoint.materialize()
-        try:
-            for i in range(self.iterations):
-                clone_ns_before = result.time_ns
-                with self.telemetry.span("validation.run",
-                                         seed=101 + i) as run_span:
-                    trace = self._one_iteration(
-                        process, state, pool, window_end, seed=101 + i,
-                        result=result)
-                    # Validation runs on a clone off the recovery path;
-                    # its cost is clone-clock time, recorded as an
-                    # attribute rather than main-clock width.
-                    run_span.set(
-                        passed=trace.passed,
-                        clone_time_ns=result.time_ns - clone_ns_before)
-                self._m_runs.inc()
-                self._m_trials.inc(len(pool.patches()))
-                result.iterations.append(trace)
-            result.baseline_mm_trace = self._baseline_trace(
-                process, state, window_end, result)
-        finally:
-            # Validation runs must not distort the live pool's
-            # trigger accounting.
-            for patch in pool.patches():
-                patch.trigger_count = saved_triggers.get(
-                    patch.patch_id, patch.trigger_count)
+        state = encode_state(checkpoint.materialize())
+        tasks = [self._task(process, state, pool, window_end,
+                            seed=101 + i)
+                 for i in range(self.iterations)]
+        tasks.append(self._baseline_task(process, state, window_end))
+        handle = executor.submit(tasks)
+        times: List[int] = []
+        for i in range(self.iterations):
+            seed = 101 + i
+            with self.telemetry.span("validation.run",
+                                     seed=seed) as run_span:
+                out = handle.result(i)
+                # Validation runs on clones off the recovery path;
+                # their cost is clone-clock time, recorded as an
+                # attribute rather than main-clock width.
+                run_span.set(passed=out.passed,
+                             clone_time_ns=out.time_ns)
+            self._m_runs.inc()
+            self._m_trials.inc(len(pool.patches()))
+            times.append(out.time_ns)
+            result.iterations.append(IterationTrace(
+                seed=seed, passed=out.passed, result=out.result,
+                mm_trace=out.mm_trace,
+                illegal_accesses=out.illegal_accesses))
+        baseline = handle.result(self.iterations)
+        times.append(baseline.time_ns)
+        result.baseline_mm_trace = baseline.mm_trace
+        # Spare-core accounting: the batch costs its busiest worker
+        # lane.  With one worker this is the plain sum, i.e. the
+        # original serial validation time.
+        result.time_ns = schedule_ns(times, executor.workers)
         self._check_consistency(result)
         self.events.emit(0, "validation.done",
                          consistent=result.consistent,
@@ -144,38 +169,49 @@ class ValidationEngine:
 
     # ------------------------------------------------------------------
 
-    def _one_iteration(self, process: Process, state,
-                       pool: PatchPool, window_end: int, seed: int,
-                       result: ValidationResult) -> IterationTrace:
-        clone = process.clone(state)
-        clone.use_randomized_allocator(seed)
-        clone.set_mode(ExtensionMode.VALIDATION, pool.policy())
-        clone.set_costs(process.costs.replay_model())
-        clone.extension.trace_mm = True
-        clone.machine.trace_accesses = True
-        clone.reseed_entropy(seed * 7919)
-        run = clone.run(stop_at=window_end)
-        passed = run.reason in (RunReason.STOP, RunReason.HALT,
-                                RunReason.INPUT_EXHAUSTED)
-        result.time_ns += clone.clock.now_ns
-        return IterationTrace(
-            seed=seed, passed=passed, result=run,
-            mm_trace=list(clone.extension.mm_trace),
-            illegal_accesses=list(clone.extension.illegal_accesses))
+    def _task(self, process: Process, state: tuple, pool: PatchPool,
+              window_end: int, seed: int) -> ReexecTask:
+        """One randomized validation run.  The patch set travels as
+        JSON (a frozen copy by construction); entropy follows the
+        legacy clone behavior: seed * 7919."""
+        return ReexecTask(
+            kind="validation",
+            label=f"validate:seed{seed}",
+            state=state,
+            journal=process.input.journal_slice(0),
+            output_prefix=process.output.entries()[:state[0][5]],
+            window_end=window_end,
+            costs=process.costs.replay_model(),
+            heap_limit=process.mem.limit,
+            quarantine_threshold=process.extension
+            .quarantine.threshold_bytes,
+            patch_memory_limit=process.extension.patch_memory_limit,
+            salt=seed * 7919,
+            patches_json=[p.to_json() for p in pool.patches()],
+            pool_name=pool.program_name,
+            seed=seed,
+            trace_mm=True,
+            trace_accesses=True)
 
-    def _baseline_trace(self, process: Process, state,
-                        window_end: int,
-                        result: ValidationResult) -> List[MMTraceEntry]:
+    def _baseline_task(self, process: Process, state: tuple,
+                       window_end: int) -> ReexecTask:
         """Unpatched re-execution (runs into the failure); its trace is
-        diffed against the patched traces in the bug report."""
-        clone = process.clone(state)
-        clone.set_mode(ExtensionMode.DIAGNOSTIC, None)
-        clone.extension.policy = _null_policy()
-        clone.set_costs(process.costs.replay_model())
-        clone.extension.trace_mm = True
-        clone.run(stop_at=window_end)
-        result.time_ns += clone.clock.now_ns
-        return list(clone.extension.mm_trace)
+        diffed against the patched traces in the bug report.  Salt 1
+        reproduces the legacy clone's fresh default entropy."""
+        return ReexecTask(
+            kind="baseline",
+            label="validate:baseline",
+            state=state,
+            journal=process.input.journal_slice(0),
+            output_prefix=process.output.entries()[:state[0][5]],
+            window_end=window_end,
+            costs=process.costs.replay_model(),
+            heap_limit=process.mem.limit,
+            quarantine_threshold=process.extension
+            .quarantine.threshold_bytes,
+            patch_memory_limit=process.extension.patch_memory_limit,
+            salt=1,
+            trace_mm=True)
 
     # ------------------------------------------------------------------
 
@@ -210,8 +246,3 @@ class ValidationEngine:
                     "criterion (c): illegal accesses differ in "
                     "instruction/offset identity between seeds "
                     f"{first.seed} and {trace.seed}")
-
-
-def _null_policy():
-    from repro.heap.extension import ChangePolicy
-    return ChangePolicy()

@@ -1,0 +1,43 @@
+"""Parallel recovery engine: execution backends that fan diagnosis
+probes and validation re-executions out across worker processes.
+
+See DESIGN.md §8.  Public surface:
+
+* :class:`~repro.parallel.executor.SerialExecutor` /
+  :class:`~repro.parallel.executor.ForkExecutor` -- the backends;
+* :func:`~repro.parallel.executor.make_executor` -- the runtime's
+  selector (``FirstAidConfig.workers``);
+* :func:`~repro.parallel.executor.schedule_ns` -- max-over-workers
+  simulated-time accounting;
+* :class:`~repro.parallel.tasks.ReexecTask` /
+  :class:`~repro.parallel.tasks.TaskOutcome` /
+  :func:`~repro.parallel.tasks.run_task` -- the task protocol.
+"""
+
+from repro.parallel.executor import (
+    ForkExecutor,
+    SerialExecutor,
+    make_executor,
+    schedule_ns,
+)
+from repro.parallel.tasks import (
+    PASS_REASONS,
+    ReexecTask,
+    TaskOutcome,
+    decode_state,
+    encode_state,
+    run_task,
+)
+
+__all__ = [
+    "ForkExecutor",
+    "SerialExecutor",
+    "make_executor",
+    "schedule_ns",
+    "ReexecTask",
+    "TaskOutcome",
+    "PASS_REASONS",
+    "encode_state",
+    "decode_state",
+    "run_task",
+]

@@ -183,7 +183,7 @@ class Process:
         journal = self.input.journal_slice(0)
         clone = Process(self.program,
                         mode=self.extension.mode,
-                        policy=self.extension.policy,
+                        policy=self.extension.policy.frozen_copy(),
                         costs=self.costs,
                         heap_limit=self.mem.limit,
                         quarantine_threshold=self.extension

@@ -12,11 +12,19 @@ of the instruction *after* the call in the caller's frame; for the frame
 that performed the allocation itself we use the address of the
 allocation instruction.  The signature is the tuple of up to
 :data:`CallSite.DEPTH` such pairs, innermost first.
+
+Call-sites are **hash-consed**: the VM captures one on every MALLOC and
+FREE, and a program has only a handful of distinct signatures, so
+:meth:`CallSite.intern` returns a shared canonical instance per frame
+tuple instead of allocating a fresh object per operation.  Interning
+also makes cross-process transfer cheap and canonical: pickling routes
+through :meth:`intern` (see ``__reduce__``), so a call-site shipped to a
+re-execution worker and back deduplicates against the local table.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, Tuple
 
 Addr = Tuple[str, int]
 
@@ -38,8 +46,30 @@ class CallSite:
                 raise ValueError(f"bad call-site frame: {fr!r}")
         object.__setattr__(self, "frames", frames)
 
+    @classmethod
+    def intern(cls, frames: Iterable[Addr]) -> "CallSite":
+        """The canonical shared instance for ``frames``.
+
+        The hot per-malloc capture path must not allocate a duplicate
+        object (plus its validated frame tuple) for every operation from
+        the same site; the table is bounded by the number of distinct
+        call-sites in the program.
+        """
+        key = tuple(frames)[: cls.DEPTH]
+        site = _INTERNED.get(key)
+        if site is None:
+            site = cls(key)
+            _INTERNED[site.frames] = site
+        return site
+
     def __setattr__(self, name, value):
         raise AttributeError("CallSite is immutable")
+
+    def __reduce__(self):
+        # Default pickling would call __setattr__ (which raises);
+        # routing through intern() both fixes that and deduplicates
+        # call-sites shipped back from worker processes.
+        return (CallSite.intern, (self.frames,))
 
     @property
     def innermost(self) -> Addr:
@@ -47,6 +77,8 @@ class CallSite:
         return self.frames[0]
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, CallSite) and self.frames == other.frames
 
     def __hash__(self) -> int:
@@ -66,4 +98,14 @@ class CallSite:
 
     @classmethod
     def from_json(cls, data) -> "CallSite":
-        return cls((str(fn), int(pc)) for fn, pc in data)
+        return cls.intern((str(fn), int(pc)) for fn, pc in data)
+
+
+#: The intern table.  Keyed by the validated frame tuple; bounded by
+#: the number of distinct call-sites across all loaded programs.
+_INTERNED: Dict[Tuple[Addr, ...], CallSite] = {}
+
+
+def interned_count() -> int:
+    """Testing/benchmark hook: current intern-table size."""
+    return len(_INTERNED)

@@ -83,6 +83,32 @@ class ReplayableInput:
         self._journal = [int(t) for t in tokens]
         self._cursor = len(self._journal)
 
+    def prefetch(self, count: int) -> int:
+        """Pull up to ``count`` tokens from the live source into the
+        journal *without* advancing the cursor.
+
+        Re-execution tasks shipped to worker processes carry only the
+        journal (workers cannot share the live source's iterator state),
+        so before dispatching a batch the engine prefetches every token
+        the re-execution window could possibly consume.  The live
+        process later reads the same values back out of the journal, so
+        behaviour is unchanged -- tokens just arrive in the journal a
+        little earlier than on-demand ``next()`` would have put them.
+
+        Returns the number of tokens actually journaled (less than
+        ``count`` if the source ran dry).
+        """
+        added = 0
+        while added < count and not self._exhausted:
+            try:
+                token = next(self._source)
+            except StopIteration:
+                self._exhausted = True
+                break
+            self._journal.append(int(token))
+            added += 1
+        return added
+
     def snapshot(self) -> int:
         return self._cursor
 

@@ -140,7 +140,7 @@ class Machine:
             addrs.append((frame.func.name, frame.pc))
             if len(addrs) == CallSite.DEPTH:
                 break
-        return CallSite(addrs)
+        return CallSite.intern(addrs)
 
     # ------------------------------------------------------------------
     # execution
