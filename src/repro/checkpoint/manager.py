@@ -149,6 +149,11 @@ class CheckpointManager:
         self._tm = (_CheckpointInstruments(telemetry.metrics)
                     if telemetry is not None and telemetry.enabled
                     else None)
+        #: Optional hook invoked after each boundary checkpoint taken
+        #: by :meth:`run` -- the runtime's periodic work (e.g. shared
+        #: patch-store refresh) rides the checkpoint cadence instead of
+        #: adding a second timer to the hot loop.
+        self.on_boundary = None
 
     # ------------------------------------------------------------------
 
@@ -295,6 +300,8 @@ class CheckpointManager:
         process = self.process
         if self.enabled and not self.checkpoints:
             self.take_checkpoint()
+            if self.on_boundary is not None:
+                self.on_boundary()
         remaining = max_steps
         while True:
             if not self.enabled:
@@ -312,6 +319,8 @@ class CheckpointManager:
                 return result
             if process.instr_count >= boundary:
                 self.take_checkpoint()
+                if self.on_boundary is not None:
+                    self.on_boundary()
 
     # ------------------------------------------------------------------
 

@@ -33,6 +33,21 @@ from repro.errors import PatchError
 from repro.heap.extension import AllocDecision, ChangePolicy, FreeDecision
 from repro.util.callsite import CallSite
 
+#: On-disk schema of ``PatchPool.save()``.  Version 1 (the seed) had no
+#: ``schema`` field and dropped mutable bookkeeping (``trigger_count``)
+#: on the floor; version 2 round-trips every field.  ``load`` accepts
+#: both and rejects anything newer than it understands.
+POOL_SCHEMA = 2
+
+
+def patch_key(bug_type: BugType, point: CallSite) -> str:
+    """The cross-process identity of a patch: two processes that
+    independently diagnose the same bug at the same call-site produce
+    the same key, which is what the shared store unions on (their
+    process-local ``patch_id``s are arbitrary)."""
+    frames = ";".join(f"{fn}+{pc}" for fn, pc in point.frames)
+    return f"{bug_type.value}@{frames}"
+
 
 @dataclass
 class RuntimePatch:
@@ -60,11 +75,17 @@ class RuntimePatch:
     def change(self):
         return preventive_change(self.bug_type)
 
+    @property
+    def key(self) -> str:
+        return patch_key(self.bug_type, self.point)
+
     def describe(self) -> str:
         return (f"{self.bug_type.patch_description} on callsite:\n"
                 f"{self.point.render()}")
 
     def to_json(self) -> dict:
+        """Full-fidelity wire/disk form: every field, including the
+        mutable bookkeeping (``trigger_count``), round-trips."""
         return {
             "patch_id": self.patch_id,
             "bug_type": self.bug_type.value,
@@ -72,6 +93,7 @@ class RuntimePatch:
             "apply_at": self.apply_at,
             "created_time_ns": self.created_time_ns,
             "validated": self.validated,
+            "trigger_count": self.trigger_count,
         }
 
     @classmethod
@@ -83,6 +105,7 @@ class RuntimePatch:
             apply_at=str(data["apply_at"]),
             created_time_ns=int(data.get("created_time_ns", 0)),
             validated=bool(data.get("validated", False)),
+            trigger_count=int(data.get("trigger_count", 0)),
         )
 
 
@@ -92,9 +115,18 @@ class PatchPool:
     def __init__(self, program_name: str):
         self.program_name = program_name
         self._patches: Dict[int, RuntimePatch] = {}
+        #: (bug_type, point) identity index; ``find`` is called from
+        #: ``new_patch`` on every diagnosis and from store merges, so
+        #: it must not scan the pool.
+        self._by_key: Dict[str, RuntimePatch] = {}
         self._next_id = 1
 
     # ------------------------------------------------------------------
+
+    def _register(self, patch: RuntimePatch) -> None:
+        self._patches[patch.patch_id] = patch
+        self._by_key[patch.key] = patch
+        self._next_id = max(self._next_id, patch.patch_id + 1)
 
     def new_patch(self, bug_type: BugType, point: CallSite,
                   created_time_ns: int = 0) -> RuntimePatch:
@@ -105,19 +137,51 @@ class PatchPool:
             return existing
         patch = RuntimePatch(self._next_id, bug_type, point,
                              bug_type.patch_point, created_time_ns)
-        self._patches[patch.patch_id] = patch
-        self._next_id += 1
+        self._register(patch)
         return patch
 
     def find(self, bug_type: BugType,
              point: CallSite) -> Optional[RuntimePatch]:
-        for patch in self._patches.values():
-            if patch.bug_type is bug_type and patch.point == point:
-                return patch
-        return None
+        return self._by_key.get(patch_key(bug_type, point))
+
+    def find_key(self, key: str) -> Optional[RuntimePatch]:
+        """Lookup by the cross-process :func:`patch_key` string."""
+        return self._by_key.get(key)
 
     def remove(self, patch_id: int) -> None:
-        self._patches.pop(patch_id, None)
+        patch = self._patches.pop(patch_id, None)
+        if patch is not None:
+            self._by_key.pop(patch.key, None)
+
+    def remove_key(self, key: str) -> Optional[RuntimePatch]:
+        """Remove (and return) the patch with this cross-process key,
+        e.g. when another process retracted it from the shared store."""
+        patch = self._by_key.pop(key, None)
+        if patch is not None:
+            self._patches.pop(patch.patch_id, None)
+        return patch
+
+    def absorb(self, patches: Iterable[RuntimePatch]) -> bool:
+        """Merge foreign patches (another process's, via the shared
+        store) into this pool by :func:`patch_key` identity.  Existing
+        entries keep their local ``patch_id`` and take the max trigger
+        count and the sticky validated flag; unknown keys are adopted
+        under a fresh local id.  Returns True when anything changed."""
+        changed = False
+        for incoming in patches:
+            mine = self._by_key.get(incoming.key)
+            if mine is None:
+                adopted = replace(incoming, patch_id=self._next_id)
+                self._register(adopted)
+                changed = True
+                continue
+            if incoming.trigger_count > mine.trigger_count:
+                mine.trigger_count = incoming.trigger_count
+                changed = True
+            if incoming.validated and not mine.validated:
+                mine.validated = True
+                changed = True
+        return changed
 
     def get(self, patch_id: int) -> Optional[RuntimePatch]:
         return self._patches.get(patch_id)
@@ -137,21 +201,21 @@ class PatchPool:
         mutations on either side never cross over.  Validation clones
         and re-execution workers run against a copy."""
         pool = PatchPool(self.program_name)
-        pool._next_id = self._next_id
         for patch in self._patches.values():
-            pool._patches[patch.patch_id] = replace(patch)
+            pool._register(replace(patch))
+        pool._next_id = max(pool._next_id, self._next_id)
         return pool
 
     @classmethod
     def from_patches(cls, program_name: str,
                      items: Iterable[dict]) -> "PatchPool":
         """Rebuild a pool from ``to_json()`` payloads (the wire form a
-        validation task ships to a worker process)."""
+        validation task ships to a worker process).  Full fidelity:
+        trigger counts and validation flags survive the trip, honoring
+        :meth:`copy`'s contract for worker-side copies too."""
         pool = cls(program_name)
         for item in items:
-            patch = RuntimePatch.from_json(item)
-            pool._patches[patch.patch_id] = patch
-            pool._next_id = max(pool._next_id, patch.patch_id + 1)
+            pool._register(RuntimePatch.from_json(item))
         return pool
 
     # ------------------------------------------------------------------
@@ -161,6 +225,7 @@ class PatchPool:
     def save(self, path: str) -> None:
         """Atomically write the pool to ``path`` as JSON."""
         payload = {
+            "schema": POOL_SCHEMA,
             "program": self.program_name,
             "patches": [p.to_json() for p in self._patches.values()],
         }
@@ -178,25 +243,49 @@ class PatchPool:
 
     @classmethod
     def load(cls, path: str) -> "PatchPool":
+        """Load a saved pool.  Corrupt or truncated JSON, a wrong
+        payload shape, and an unknown future schema all surface as
+        :class:`PatchError` (never a raw ``json.JSONDecodeError``);
+        ``FileNotFoundError`` passes through for ``load_or_create``."""
         with open(path) as handle:
-            payload = json.load(handle)
-        pool = cls(payload["program"])
-        for item in payload["patches"]:
-            patch = RuntimePatch.from_json(item)
-            pool._patches[patch.patch_id] = patch
-            pool._next_id = max(pool._next_id, patch.patch_id + 1)
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise PatchError(
+                    f"patch pool at {path} is corrupt or truncated: "
+                    f"{exc}") from exc
+        try:
+            schema = int(payload.get("schema", 1))
+            if schema > POOL_SCHEMA:
+                raise PatchError(
+                    f"patch pool at {path} uses schema {schema}; this "
+                    f"build understands <= {POOL_SCHEMA}")
+            pool = cls(payload["program"])
+            for item in payload["patches"]:
+                pool._register(RuntimePatch.from_json(item))
+        except PatchError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise PatchError(
+                f"patch pool at {path} has a malformed payload: "
+                f"{exc!r}") from exc
         return pool
 
     @classmethod
     def load_or_create(cls, path: str, program_name: str) -> "PatchPool":
-        if os.path.exists(path):
+        """Load ``path`` if it exists, else a fresh pool.  Free of the
+        exists()/load() TOCTOU window: the file is opened directly and
+        a concurrent unlink surfaces as the fresh-pool path, not a
+        crash."""
+        try:
             pool = cls.load(path)
-            if pool.program_name != program_name:
-                raise PatchError(
-                    f"patch pool at {path} belongs to "
-                    f"{pool.program_name!r}, not {program_name!r}")
-            return pool
-        return cls(program_name)
+        except FileNotFoundError:
+            return cls(program_name)
+        if pool.program_name != program_name:
+            raise PatchError(
+                f"patch pool at {path} belongs to "
+                f"{pool.program_name!r}, not {program_name!r}")
+        return pool
 
 
 class PatchPolicy(ChangePolicy):

@@ -26,8 +26,10 @@ from repro.heap.extension import ExtensionMode
 from repro.heap.quarantine import DEFAULT_THRESHOLD
 from repro.monitors import ErrorMonitor, FailureEvent, default_monitors
 from repro.obs.telemetry import Telemetry
+from repro.errors import StoreError
 from repro.parallel.executor import make_executor
 from repro.process import Process
+from repro.store import SharedPatchStore
 from repro.util.events import EventLog
 from repro.util.simclock import CostModel
 from repro.vm.io import ReplayableInput
@@ -63,6 +65,16 @@ class FirstAidConfig:
     max_patch_memory: Optional[int] = None
     heap_limit: int = DEFAULT_LIMIT
     pool_path: Optional[str] = None    # persistent patch pool (JSON)
+    #: Crash-safe *shared* patch store (repro.store, DESIGN.md §9):
+    #: merge-on-write, file-locked, survives concurrent processes of
+    #: the same program.  Patches publish on creation and validation,
+    #: failed validation retracts them fleet-wide, and a periodic
+    #: refresh (every ``store_refresh_boundaries`` checkpoint
+    #: boundaries) absorbs patches other processes published mid-run.
+    #: Prefer this over ``pool_path`` whenever more than one process
+    #: may run the program.
+    store_path: Optional[str] = None
+    store_refresh_boundaries: int = 2
     max_recovery_attempts: int = 2
     entropy_seed: int = 1
     #: Worker processes for the parallel recovery engine.  1 (default)
@@ -128,6 +140,17 @@ class FirstAidRuntime:
         self.events = events if events is not None \
             else EventLog(max_events=self.config.max_events)
         self.pool = pool or self._load_pool(program.name)
+        #: Shared patch store (None without config.store_path).  The
+        #: startup sync runs before the policy is built, so a patch any
+        #: peer already published prevents its bug from this process's
+        #: very first instruction.
+        self.store = None
+        self._store_generation = -1
+        self._boundaries_since_refresh = 0
+        if self.config.store_path:
+            self.store = SharedPatchStore(self.config.store_path,
+                                          program.name)
+            self._store_sync(initial=True)
         self.process = Process(
             program,
             input_tokens=input_tokens,
@@ -166,8 +189,11 @@ class FirstAidRuntime:
                                       self.telemetry)
         self.validator = ValidationEngine(
             self.config.validation_iterations, self.events,
-            telemetry=self.telemetry, executor=self.executor)
+            telemetry=self.telemetry, executor=self.executor,
+            store=self.store)
         self.recoveries: List[RecoveryRecord] = []
+        if self.store is not None:
+            self.manager.on_boundary = self._store_refresh_tick
 
     def close(self) -> None:
         """Shut down the worker pool (no-op in serial mode)."""
@@ -176,9 +202,63 @@ class FirstAidRuntime:
 
     def _load_pool(self, program_name: str) -> PatchPool:
         path = self.config.pool_path
-        if path and os.path.exists(path):
+        if path:
             return PatchPool.load_or_create(path, program_name)
         return PatchPool(program_name)
+
+    # ------------------------------------------------------------------
+    # shared patch store (DESIGN.md §9)
+    # ------------------------------------------------------------------
+
+    def _store_sync(self, initial: bool = False) -> None:
+        """Absorb the shared store into the local pool (and drop
+        retracted patches); refreshes the policy when anything
+        changed.  Store failures are logged, never raised: a broken
+        shared file must not take down this process."""
+        try:
+            changed, generation = self.store.sync_into(self.pool)
+        except StoreError as exc:
+            self.events.emit(0, "store.error", op="sync",
+                             error=str(exc))
+            return
+        self._store_generation = generation
+        if changed and not initial:
+            self.policy.refresh()
+            self.events.emit(self.process.clock.now_ns, "store.refresh",
+                             generation=generation,
+                             patches=len(self.pool))
+
+    def _store_refresh_tick(self) -> None:
+        """Checkpoint-boundary hook: every
+        ``store_refresh_boundaries``-th boundary, poll the store
+        generation and merge if a peer published or retracted."""
+        self._boundaries_since_refresh += 1
+        if self._boundaries_since_refresh \
+                < self.config.store_refresh_boundaries:
+            return
+        self._boundaries_since_refresh = 0
+        try:
+            generation = self.store.generation()
+        except StoreError as exc:
+            self.events.emit(0, "store.error", op="poll",
+                             error=str(exc))
+            return
+        if generation != self._store_generation:
+            self._store_sync()
+
+    def _store_publish(self, patches) -> None:
+        if self.store is None or not patches:
+            return
+        try:
+            state = self.store.publish(patches)
+        except StoreError as exc:
+            self.events.emit(0, "store.error", op="publish",
+                             error=str(exc))
+            return
+        self._store_generation = state.generation
+        self.events.emit(self.process.clock.now_ns, "store.published",
+                         keys=[p.key for p in patches],
+                         generation=state.generation)
 
     # ------------------------------------------------------------------
     # main loop
@@ -195,19 +275,29 @@ class FirstAidRuntime:
             if budget is not None:
                 budget -= self.process.instr_count - start
             if result.reason is RunReason.HALT:
-                return SessionResult("halt", self.recoveries)
+                return self._finish(SessionResult("halt", self.recoveries))
             if result.reason is RunReason.INPUT_EXHAUSTED:
-                return SessionResult("input", self.recoveries)
+                return self._finish(SessionResult("input", self.recoveries))
             if result.reason is RunReason.STOP:
-                return SessionResult("budget", self.recoveries)
+                return self._finish(SessionResult("budget",
+                                                  self.recoveries))
             failure = self._detect_failure(result)
             if failure is None:
                 # A fault no monitor claims: treat as fatal.
-                return SessionResult("died", self.recoveries)
+                return self._finish(SessionResult("died", self.recoveries))
             record = self._handle_failure(failure)
             self.recoveries.append(record)
             if not record.succeeded:
-                return SessionResult("died", self.recoveries)
+                return self._finish(SessionResult("died", self.recoveries))
+
+    def _finish(self, session: SessionResult) -> SessionResult:
+        """Session-exit bookkeeping: push this process's trigger counts
+        to the shared store (merge keeps the max), after a final sync
+        so a peer's retraction is honored rather than resurrected."""
+        if self.store is not None and len(self.pool):
+            self._store_sync()
+            self._store_publish(self.pool.patches())
+        return session
 
     def _detect_failure(self, result: RunResult) -> Optional[FailureEvent]:
         for monitor in self.monitors:
@@ -281,13 +371,19 @@ class FirstAidRuntime:
                          patches=len(diagnosis.patches))
         if self.config.pool_path:
             self.pool.save(self.config.pool_path)
+        # Publish on creation: peers start preventing this bug while we
+        # are still validating (a failed validation retracts below).
+        self._store_publish(diagnosis.patches)
 
         # Validation + report, off the recovery path (clone-based).
         if self.config.validate and diagnosis.checkpoint is not None:
             validation = self.validator.validate(
-                self.process, diagnosis.checkpoint, self.pool, window_end)
+                self.process, diagnosis.checkpoint, self.pool,
+                window_end, under_test=diagnosis.patches)
             record.validation = validation
             if not validation.consistent:
+                # The validator already retracted them from the shared
+                # store; drop them locally too.
                 for patch in diagnosis.patches:
                     self.pool.remove(patch.patch_id)
                 self.policy.refresh()
@@ -297,13 +393,15 @@ class FirstAidRuntime:
                 record.notes.append(
                     "validation failed; patches removed: "
                     + "; ".join(validation.reasons))
-            elif self.config.pool_path:
-                for patch in diagnosis.patches:
-                    patch.validated = True
-                self.pool.save(self.config.pool_path)
             else:
                 for patch in diagnosis.patches:
                     patch.validated = True
+                if self.config.pool_path:
+                    self.pool.save(self.config.pool_path)
+                # Publish on validation: the validated flag is sticky
+                # in the store's merge, making the patch trustworthy
+                # fleet-wide.
+                self._store_publish(diagnosis.patches)
         flight = None
         if self.telemetry.enabled:
             flight = self.telemetry.recorder.snapshot(

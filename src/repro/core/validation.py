@@ -99,27 +99,55 @@ class ValidationEngine:
     def __init__(self, iterations: int = 3,
                  events: Optional[EventLog] = None,
                  telemetry: Optional[Telemetry] = None,
-                 executor=None):
+                 executor=None, store=None):
         self.iterations = iterations
         self.events = events if events is not None else EventLog()
         self.telemetry = telemetry or Telemetry.disabled()
         #: execution backend for the validation batch; None builds a
         #: per-call SerialExecutor over the process's program.
         self.executor = executor
+        #: Optional :class:`~repro.store.SharedPatchStore`: a patch
+        #: that fails validation is retracted from the store, so other
+        #: processes of the same program drop it on their next refresh
+        #: instead of keeping a patch one process proved inconsistent.
+        self.store = store
         self._m_runs = self.telemetry.metrics.counter("validation.runs")
         self._m_trials = \
             self.telemetry.metrics.counter("validation.patch_trials")
 
     def validate(self, process: Process, checkpoint: Checkpoint,
-                 pool: PatchPool, window_end: int) -> ValidationResult:
+                 pool: PatchPool, window_end: int,
+                 under_test=None) -> ValidationResult:
+        """Validate the pool's patches; ``under_test`` names the
+        just-generated patches this verdict is about, so an
+        inconsistent result can retract exactly those from the shared
+        store (previously validated patches are not collateral)."""
         with self.telemetry.span("validation",
                                  checkpoint=checkpoint.index) as span:
             started = time.perf_counter()
             result = self._validate(process, checkpoint, pool, window_end)
             result.wall_s = time.perf_counter() - started
+            if not result.consistent and under_test:
+                self._retract(under_test)
             span.set(consistent=result.consistent,
                      clone_time_ns=result.time_ns)
             return result
+
+    def _retract(self, patches) -> None:
+        if self.store is None:
+            return
+        from repro.errors import StoreError
+        try:
+            state = self.store.retract(patches)
+        except StoreError as exc:
+            # A store problem must never escalate a validation verdict
+            # into a crash; the local pool removal still happens.
+            self.events.emit(0, "store.error",
+                             op="retract", error=str(exc))
+            return
+        self.events.emit(0, "store.retracted",
+                         keys=[p.key for p in patches],
+                         generation=state.generation)
 
     def _validate(self, process: Process, checkpoint: Checkpoint,
                   pool: PatchPool, window_end: int) -> ValidationResult:

@@ -51,6 +51,18 @@ class PatchError(ReproError):
     """Raised on malformed runtime patches or patch-pool misuse."""
 
 
+class StoreError(PatchError):
+    """Raised on shared-patch-store failures that the caller may want
+    to handle (the runtime treats them as non-fatal: a store problem
+    must never take down recovery)."""
+
+
+class StoreLockTimeout(StoreError):
+    """Raised when the store's file lock cannot be acquired within the
+    configured timeout, after retry-with-backoff and stale-lock
+    breaking."""
+
+
 class DiagnosisTimeout(ReproError):
     """Raised internally when the diagnostic engine exhausts its rollback
     budget without isolating a patchable bug.  The runtime converts this

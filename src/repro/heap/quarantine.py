@@ -20,7 +20,7 @@ measures.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterator, List, Optional
 
 from repro.util.callsite import CallSite
@@ -127,10 +127,13 @@ class DelayFreeQuarantine:
         return obj
 
     def drain(self) -> List[QuarantinedObject]:
-        """Really free everything; returns the drained entries."""
+        """Really free everything; returns the drained entries.  Each
+        release is an eviction and counts as one -- Table 5's eviction
+        accounting must not silently skip bulk drains."""
         drained = list(self._objects.values())
         for obj in drained:
             self._release(obj.user_addr)
+        self.evictions += len(drained)
         self._objects.clear()
         self._bytes = 0
         if self.observer is not None:
@@ -140,7 +143,11 @@ class DelayFreeQuarantine:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> tuple:
-        return (list(self._objects.values()), self._bytes, self._seq,
+        # Deep-copy at capture time: QuarantinedObject is mutable, so
+        # aliasing the live entries would let post-snapshot mutations
+        # (e.g. patch_id reassignment) bleed into old checkpoints.
+        return ([replace(o) for o in self._objects.values()],
+                self._bytes, self._seq,
                 self.accumulated_bytes, self.evictions)
 
     def restore(self, snap: tuple) -> None:

@@ -1,0 +1,170 @@
+"""Cross-process file locking for the shared patch store.
+
+A lock is a sidecar file (``<store>.lock``) created with
+``O_CREAT | O_EXCL`` -- atomic on every POSIX filesystem, including the
+NFS mounts where ``fcntl`` locks are historically unreliable.  The lock
+payload records the owner pid and acquisition time for diagnostics and
+stale-lock detection.
+
+Two failure modes are handled explicitly:
+
+* **Contention**: acquisition retries with exponential backoff (plus a
+  small pid-derived jitter so colliding processes desynchronise) until
+  ``timeout`` elapses, then raises :class:`StoreLockTimeout`.
+* **Stale locks**: a process that dies between acquire and release
+  leaves the lock file behind forever.  A lock is considered stale when
+  it is older than ``stale_after`` seconds, or immediately when its
+  owner pid is provably dead on this host.  Stale locks are broken
+  (unlinked) and acquisition retried; the unlink itself may race
+  another breaker, which is fine -- exactly one ``O_CREAT | O_EXCL``
+  winner follows.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from typing import Optional
+
+from repro.errors import StoreLockTimeout
+
+#: Locks older than this many seconds are presumed abandoned.
+DEFAULT_STALE_AFTER = 10.0
+
+#: First backoff sleep; doubles per retry, capped at BACKOFF_CAP.
+BACKOFF_BASE = 0.002
+BACKOFF_CAP = 0.05
+
+
+def _pid_dead(pid: int) -> bool:
+    """True only when ``pid`` provably does not exist on this host.
+    Permission errors and weird pids count as alive (be conservative:
+    breaking a live lock corrupts the merge protocol, tolerating a
+    stale one only delays it)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except OSError:
+        return False
+    return False
+
+
+class FileLock:
+    """An exclusive advisory lock at ``path`` (use as a context
+    manager).  Re-entrant acquisition is a caller bug and raises."""
+
+    def __init__(self, path: str,
+                 timeout: float = 5.0,
+                 stale_after: float = DEFAULT_STALE_AFTER):
+        self.path = path
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self._held = False
+        #: Set by fault injection to simulate a holder that died: the
+        #: context manager exits without releasing.
+        self._abandon = False
+        #: Diagnostics: how many times acquisition had to wait, and how
+        #: many stale locks were broken.
+        self.contentions = 0
+        self.stale_broken = 0
+
+    # ------------------------------------------------------------------
+
+    def _try_acquire(self) -> bool:
+        try:
+            fd = os.open(self.path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        except OSError as exc:  # pragma: no cover - exotic filesystems
+            if exc.errno == errno.EEXIST:
+                return False
+            raise
+        try:
+            payload = {"pid": os.getpid(), "acquired_unix": time.time()}
+            os.write(fd, json.dumps(payload).encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def _lock_owner(self) -> Optional[int]:
+        try:
+            with open(self.path, "rb") as handle:
+                data = json.loads(handle.read().decode("utf-8"))
+            return int(data.get("pid", -1))
+        except (OSError, ValueError):
+            # Vanished, unreadable, or torn lock payload: age decides.
+            return None
+
+    def _is_stale(self) -> bool:
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except FileNotFoundError:
+            return False  # released under us; just retry acquisition
+        if age > self.stale_after:
+            return True
+        owner = self._lock_owner()
+        return owner is not None and owner != os.getpid() \
+            and _pid_dead(owner)
+
+    def _break_stale(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+        self.stale_broken += 1
+
+    # ------------------------------------------------------------------
+
+    def acquire(self) -> None:
+        if self._held:
+            raise RuntimeError(f"lock {self.path} already held")
+        deadline = time.monotonic() + self.timeout
+        delay = BACKOFF_BASE
+        # Desynchronise processes that collide on the same store.
+        jitter = 1.0 + (os.getpid() % 7) / 20.0
+        attempt = 0
+        while True:
+            if self._try_acquire():
+                self._held = True
+                self._abandon = False
+                if attempt:
+                    self.contentions += 1
+                return
+            if self._is_stale():
+                self._break_stale()
+                continue
+            attempt += 1
+            if time.monotonic() >= deadline:
+                owner = self._lock_owner()
+                raise StoreLockTimeout(
+                    f"could not lock {self.path} within "
+                    f"{self.timeout:.1f}s (held by pid {owner})")
+            time.sleep(min(delay * jitter, BACKOFF_CAP))
+            delay *= 2
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        if self._abandon:
+            # Fault injection: the "holder" crashed without releasing;
+            # leave the lock file for stale-breaking to clean up.
+            self._abandon = False
+            return
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass  # broken as stale by a peer; nothing left to release
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -1,0 +1,294 @@
+"""Crash-safe shared patch store.
+
+The paper's system-wide prevention claim (Section 5) rests on patches
+outliving the process that generated them: a patch diagnosed in one
+process must reach concurrent and future processes of the same program,
+and must survive the messy realities of shared files -- concurrent
+writers, processes dying mid-write, corrupted payloads, abandoned
+locks.  ``PatchPool.save()`` alone gives none of that: it is
+last-writer-wins, so two processes publishing interleaved silently
+erase each other's patches.
+
+:class:`SharedPatchStore` is the fix.  One JSON file per program, with:
+
+* **File locking** (:mod:`repro.store.locking`): every mutation runs
+  under an exclusive sidecar lock with retry-with-backoff on
+  contention and stale-lock breaking for dead holders.
+* **Merge-on-write**: a mutation is read-modify-write under the lock.
+  Patches union by :func:`~repro.core.patches.patch_key` identity
+  (``(bug_type, point)``); colliding entries keep the max trigger
+  count and the sticky validated flag.  Nothing is ever
+  last-writer-wins.
+* **Retraction tombstones**: a patch that fails validation is removed
+  *and* tombstoned, so processes that already absorbed it drop it on
+  their next refresh instead of resurrecting it into the union.  A
+  later re-publish of the same key (the bug was re-diagnosed) clears
+  the tombstone.
+* **Generation counter**: every commit bumps ``generation``;
+  refreshers poll it cheaply and skip merging when nothing changed.
+* **Atomic, double-written commits**: payloads go to a temp file,
+  fsync, then ``os.replace`` -- readers see the old or the new store,
+  never a torn one.  Each commit is mirrored to ``<path>.bak`` so a
+  corrupted primary recovers from the last committed state.
+* **Corruption quarantine**: an unparsable store (torn by a crashed
+  foreign writer, bit-rotted, truncated) is renamed to
+  ``<path>.quarantined.N`` and reading falls back to the backup, then
+  to an empty store.  Corruption never raises out of the store.
+
+Fault injection (:mod:`repro.store.faults`) drives all three failure
+modes deliberately; ``benchmarks/bench_fleet_prevention.py`` gates that
+injected faults lose zero validated patches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.patches import PatchPool, RuntimePatch
+from repro.errors import StoreError
+from repro.store.faults import FaultPlan, TornWriteCrash
+from repro.store.locking import DEFAULT_STALE_AFTER, FileLock
+
+STORE_FORMAT = "first-aid-patch-store"
+STORE_VERSION = 1
+
+
+@dataclass
+class StoreState:
+    """One parsed store payload (or the empty state)."""
+
+    program: str
+    generation: int = 0
+    #: patch_key -> RuntimePatch.to_json() payload
+    patches: Dict[str, dict] = field(default_factory=dict)
+    #: patch_key -> generation at which the patch was retracted
+    retracted: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "program": self.program,
+            "generation": self.generation,
+            "patches": self.patches,
+            "retracted": self.retracted,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "StoreState":
+        if payload.get("format") != STORE_FORMAT:
+            raise ValueError(f"not a patch store: "
+                             f"format={payload.get('format')!r}")
+        if int(payload.get("version", 0)) > STORE_VERSION:
+            raise ValueError(f"store version {payload.get('version')} "
+                             f"is newer than supported {STORE_VERSION}")
+        return cls(
+            program=str(payload["program"]),
+            generation=int(payload["generation"]),
+            patches={str(k): dict(v)
+                     for k, v in dict(payload["patches"]).items()},
+            retracted={str(k): int(v)
+                       for k, v in dict(payload["retracted"]).items()},
+        )
+
+    def runtime_patches(self) -> List[RuntimePatch]:
+        return [RuntimePatch.from_json(p) for p in self.patches.values()]
+
+    def validated_keys(self) -> List[str]:
+        return [k for k, p in self.patches.items()
+                if p.get("validated", False)]
+
+
+class SharedPatchStore:
+    """The shared, crash-safe patch store for one program."""
+
+    def __init__(self, path: str, program_name: str,
+                 lock_timeout: float = 5.0,
+                 stale_lock_after: float = DEFAULT_STALE_AFTER,
+                 faults: Optional[FaultPlan] = None):
+        self.path = path
+        self.backup_path = path + ".bak"
+        self.program_name = program_name
+        self.faults = faults or FaultPlan()
+        self.lock = FileLock(path + ".lock", timeout=lock_timeout,
+                             stale_after=stale_lock_after)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        #: Diagnostics for tests, the fleet benchmark, and telemetry.
+        self.publishes = 0
+        self.retractions = 0
+        self.commits = 0
+        self.quarantined = 0
+        self.recovered_from_backup = 0
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def _quarantine(self, path: str) -> None:
+        """Move an unreadable store file aside (never delete: the bytes
+        are evidence) and count it."""
+        for n in range(1000):
+            target = f"{path}.quarantined.{n}"
+            if not os.path.exists(target):
+                break
+        try:
+            os.replace(path, target)
+            self.quarantined += 1
+        except FileNotFoundError:
+            pass  # a concurrent reader already quarantined it
+
+    def _read_candidate(self, path: str) -> Optional[StoreState]:
+        """Parse one store file; None when missing, quarantined when
+        corrupt."""
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return None
+        try:
+            state = StoreState.from_json(
+                json.loads(raw.decode("utf-8")))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if state.program != self.program_name:
+            raise StoreError(
+                f"patch store at {path} belongs to "
+                f"{state.program!r}, not {self.program_name!r}")
+        return state
+
+    def load(self) -> StoreState:
+        """The current store state: primary, else backup, else empty.
+        Lock-free (commits are atomic renames, so reads are always
+        consistent); corruption is quarantined, never raised."""
+        if self.faults.take("corrupt"):
+            FaultPlan.corrupt_file(self.path)
+        state = self._read_candidate(self.path)
+        if state is not None:
+            return state
+        state = self._read_candidate(self.backup_path)
+        if state is not None:
+            self.recovered_from_backup += 1
+            return state
+        return StoreState(self.program_name)
+
+    def generation(self) -> int:
+        """Cheap freshness probe for periodic refresh."""
+        return self.load().generation
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def _write_atomic(self, path: str, payload: bytes) -> None:
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _commit(self, state: StoreState) -> None:
+        payload = json.dumps(state.to_json(), indent=2,
+                             sort_keys=True).encode("utf-8")
+        if self.faults.take("torn_write"):
+            # Simulate a non-atomic writer dying mid-commit: torn bytes
+            # at the primary path, the lock abandoned, the caller dead.
+            FaultPlan.tear_file(self.path, payload)
+            self.lock._abandon = True
+            raise TornWriteCrash(f"injected torn write on {self.path}")
+        self._write_atomic(self.path, payload)
+        # Mirror to the backup only after the primary commit succeeded;
+        # the backup therefore lags by at most one committed state.
+        self._write_atomic(self.backup_path, payload)
+        self.commits += 1
+
+    def _locked(self) -> FileLock:
+        if self.faults.take("stale_lock"):
+            FaultPlan.plant_stale_lock(self.lock.path)
+        return self.lock
+
+    def _mutate(self, mutator) -> StoreState:
+        """Read-modify-write under the lock; returns the committed
+        state."""
+        with self._locked():
+            state = self.load()
+            state = mutator(state)
+            state.generation += 1
+            self._commit(state)
+        return state
+
+    # ------------------------------------------------------------------
+    # the protocol: publish / retract / refresh
+    # ------------------------------------------------------------------
+
+    def publish(self,
+                patches: Iterable[RuntimePatch]) -> StoreState:
+        """Merge ``patches`` into the store (union by patch key, max
+        trigger count, sticky validated flag).  Publishing a tombstoned
+        key clears the tombstone: the publisher re-diagnosed the bug,
+        which outranks a stale retraction."""
+        incoming = list(patches)
+
+        def merge(state: StoreState) -> StoreState:
+            for patch in incoming:
+                key = patch.key
+                state.retracted.pop(key, None)
+                mine = patch.to_json()
+                cur = state.patches.get(key)
+                if cur is None:
+                    state.patches[key] = mine
+                    continue
+                cur["trigger_count"] = max(
+                    int(cur.get("trigger_count", 0)),
+                    patch.trigger_count)
+                cur["validated"] = bool(cur.get("validated", False)) \
+                    or patch.validated
+            return state
+
+        state = self._mutate(merge)
+        self.publishes += 1
+        return state
+
+    def retract(self,
+                patches: Iterable[RuntimePatch]) -> StoreState:
+        """Remove ``patches`` from the store and tombstone their keys,
+        so peers that already absorbed them drop them on refresh (a
+        patch that failed validation is wrong *everywhere*, not just in
+        the process that noticed)."""
+        keys = [p.key for p in patches]
+
+        def remove(state: StoreState) -> StoreState:
+            for key in keys:
+                state.patches.pop(key, None)
+                state.retracted[key] = state.generation + 1
+            return state
+
+        state = self._mutate(remove)
+        self.retractions += 1
+        return state
+
+    def sync_into(self, pool: PatchPool) -> Tuple[bool, int]:
+        """Pull the store into a local pool: drop tombstoned patches,
+        absorb everything else.  Returns (pool changed?, store
+        generation) so callers can refresh policies and remember the
+        generation they are current with."""
+        state = self.load()
+        changed = False
+        for key in state.retracted:
+            if pool.remove_key(key) is not None:
+                changed = True
+        if pool.absorb(state.runtime_patches()):
+            changed = True
+        return changed, state.generation

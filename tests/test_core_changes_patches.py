@@ -227,3 +227,227 @@ class TestPatchPolicy:
         pool.new_patch(BugType.BUFFER_OVERFLOW, s)
         policy.refresh()
         assert policy.on_alloc(s).patch_id is not None
+
+
+class TestRoundTripFidelity:
+    """to_json/from_json and save/load must preserve pools *exactly*,
+    including mutable bookkeeping -- the seed dropped trigger_count on
+    the floor, silently resetting Table 4's "triggered N times"."""
+
+    def test_trigger_count_round_trips_through_json(self):
+        pool = PatchPool("app")
+        patch = pool.new_patch(BugType.BUFFER_OVERFLOW, site(("f", 1)))
+        patch.trigger_count = 17
+        patch.validated = True
+        clone = RuntimePatch.from_json(patch.to_json())
+        assert clone == patch
+
+    def test_from_patches_preserves_trigger_counts(self):
+        pool = PatchPool("app")
+        patch = pool.new_patch(BugType.DANGLING_READ, site(("g", 2)))
+        patch.trigger_count = 9
+        wire = [p.to_json() for p in pool.patches()]
+        rebuilt = PatchPool.from_patches("app", wire)
+        assert rebuilt.patches()[0].trigger_count == 9
+
+    def test_save_load_preserves_trigger_counts(self, tmp_path):
+        path = str(tmp_path / "pool.json")
+        pool = PatchPool("app")
+        patch = pool.new_patch(BugType.UNINIT_READ, site(("h", 3)))
+        patch.trigger_count = 41
+        pool.save(path)
+        loaded = PatchPool.load(path)
+        assert loaded.patches()[0].trigger_count == 41
+
+    def test_copy_contract_matches_wire_form(self):
+        """from_patches(to_json()) must honor the same contract as
+        PatchPool.copy(): same patches, live counts, decoupled."""
+        pool = PatchPool("app")
+        patch = pool.new_patch(BugType.DOUBLE_FREE, site(("d", 4)))
+        patch.trigger_count = 5
+        worker_pool = PatchPool.from_patches(
+            "app", [p.to_json() for p in pool.patches()])
+        wp = worker_pool.patches()[0]
+        assert wp == patch
+        wp.trigger_count += 100          # worker-side accounting
+        assert patch.trigger_count == 5  # never bleeds back
+
+    def test_schema_version_written_and_v1_accepted(self, tmp_path):
+        import json
+        path = str(tmp_path / "pool.json")
+        pool = PatchPool("app")
+        pool.new_patch(BugType.UNINIT_READ, site(("f", 1)))
+        pool.save(path)
+        payload = json.load(open(path))
+        from repro.core.patches import POOL_SCHEMA
+        assert payload["schema"] == POOL_SCHEMA
+        # a v1 (schema-less) file still loads
+        del payload["schema"]
+        for item in payload["patches"]:
+            del item["trigger_count"]
+        json.dump(payload, open(path, "w"))
+        assert len(PatchPool.load(path)) == 1
+
+    def test_future_schema_rejected(self, tmp_path):
+        import json
+        path = str(tmp_path / "pool.json")
+        json.dump({"schema": 99, "program": "app", "patches": []},
+                  open(path, "w"))
+        with pytest.raises(PatchError):
+            PatchPool.load(path)
+
+
+class TestLoadRobustness:
+    def test_corrupt_json_raises_patch_error(self, tmp_path):
+        path = str(tmp_path / "pool.json")
+        with open(path, "w") as fh:
+            fh.write('{"program": "app", "patches": [{"patch')
+        with pytest.raises(PatchError):
+            PatchPool.load(path)
+
+    def test_malformed_payload_raises_patch_error(self, tmp_path):
+        import json
+        path = str(tmp_path / "pool.json")
+        json.dump({"not": "a pool"}, open(path, "w"))
+        with pytest.raises(PatchError):
+            PatchPool.load(path)
+
+    def test_load_or_create_missing_file_no_toctou(self, tmp_path):
+        # the file genuinely does not exist: open-and-handle-ENOENT,
+        # not exists()-then-open
+        pool = PatchPool.load_or_create(
+            str(tmp_path / "never-written.json"), "app")
+        assert len(pool) == 0
+
+    def test_load_or_create_corrupt_file_raises(self, tmp_path):
+        path = str(tmp_path / "pool.json")
+        with open(path, "w") as fh:
+            fh.write("}{")
+        with pytest.raises(PatchError):
+            PatchPool.load_or_create(path, "app")
+
+
+class TestKeyIndex:
+    """find() is called from new_patch() on every diagnosis; it is an
+    index lookup now, and must stay consistent under removal."""
+
+    def test_find_after_remove(self):
+        pool = PatchPool("app")
+        s = site(("f", 1))
+        patch = pool.new_patch(BugType.BUFFER_OVERFLOW, s)
+        assert pool.find(BugType.BUFFER_OVERFLOW, s) is patch
+        pool.remove(patch.patch_id)
+        assert pool.find(BugType.BUFFER_OVERFLOW, s) is None
+        again = pool.new_patch(BugType.BUFFER_OVERFLOW, s)
+        assert again.patch_id != patch.patch_id
+
+    def test_same_site_different_bug_types_distinct(self):
+        pool = PatchPool("app")
+        s = site(("f", 1))
+        a = pool.new_patch(BugType.UNINIT_READ, s)
+        b = pool.new_patch(BugType.BUFFER_OVERFLOW, s)
+        assert a is not b
+        assert pool.find(BugType.UNINIT_READ, s) is a
+        assert pool.find(BugType.BUFFER_OVERFLOW, s) is b
+
+    def test_remove_key(self):
+        pool = PatchPool("app")
+        s = site(("f", 1))
+        patch = pool.new_patch(BugType.DOUBLE_FREE, s)
+        removed = pool.remove_key(patch.key)
+        assert removed is patch
+        assert len(pool) == 0
+        assert pool.remove_key(patch.key) is None
+
+    def test_absorb_merges_by_key(self):
+        pool = PatchPool("app")
+        mine = pool.new_patch(BugType.BUFFER_OVERFLOW, site(("f", 1)))
+        mine.trigger_count = 2
+        other = PatchPool("app")
+        theirs = other.new_patch(BugType.BUFFER_OVERFLOW, site(("f", 1)))
+        theirs.trigger_count = 8
+        theirs.validated = True
+        foreign = other.new_patch(BugType.DOUBLE_FREE, site(("g", 2)))
+        assert pool.absorb([theirs, foreign])
+        assert len(pool) == 2
+        assert mine.trigger_count == 8 and mine.validated
+        # absorbing the same state again changes nothing
+        assert not pool.absorb([theirs, foreign])
+
+
+class TestRoundTripProperties:
+    """Hypothesis: random pools survive both persistence paths
+    exactly."""
+
+    from hypothesis import given, settings, strategies as st
+
+    bug_types = st.sampled_from(list(ALL_BUG_TYPES))
+    frames = st.lists(
+        st.tuples(st.sampled_from(["f", "g", "h", "main"]),
+                  st.integers(0, 40)),
+        min_size=1, max_size=3)
+    patch_specs = st.lists(
+        st.tuples(bug_types, frames, st.integers(0, 1000),
+                  st.booleans()),
+        max_size=12)
+
+    @staticmethod
+    def build_pool(specs):
+        pool = PatchPool("propapp")
+        for bug_type, frames, triggers, validated in specs:
+            patch = pool.new_patch(bug_type, site(*frames))
+            patch.trigger_count = max(patch.trigger_count, triggers)
+            patch.validated = patch.validated or validated
+        return pool
+
+    @staticmethod
+    def pool_fingerprint(pool):
+        return sorted(
+            (p.key, p.patch_id, p.trigger_count, p.validated,
+             p.created_time_ns) for p in pool.patches())
+
+    @given(specs=patch_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_save_load_exact(self, specs, tmp_path_factory):
+        pool = self.build_pool(specs)
+        path = str(tmp_path_factory.mktemp("pools") / "pool.json")
+        pool.save(path)
+        loaded = PatchPool.load(path)
+        assert self.pool_fingerprint(loaded) == self.pool_fingerprint(pool)
+        assert loaded._next_id >= pool._next_id or len(pool) == 0
+
+    @given(specs=patch_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_wire_form_exact(self, specs):
+        pool = self.build_pool(specs)
+        rebuilt = PatchPool.from_patches(
+            "propapp", [p.to_json() for p in pool.patches()])
+        assert self.pool_fingerprint(rebuilt) == \
+            self.pool_fingerprint(pool)
+
+    @given(specs=patch_specs, other_specs=patch_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_store_merge_is_a_union(self, specs, other_specs,
+                                    tmp_path_factory):
+        """Two pools publishing interleaved: the store ends with the
+        union, max trigger counts, sticky validated flags."""
+        from repro.store import SharedPatchStore
+        a, b = self.build_pool(specs), self.build_pool(other_specs)
+        path = str(tmp_path_factory.mktemp("stores") / "s.json")
+        s1 = SharedPatchStore(path, "propapp")
+        s2 = SharedPatchStore(path, "propapp")
+        s1.publish(a.patches())
+        s2.publish(b.patches())
+        state = s1.load()
+        by_key = {}
+        for p in list(a.patches()) + list(b.patches()):
+            cur = by_key.setdefault(
+                p.key, dict(trigger_count=0, validated=False))
+            cur["trigger_count"] = max(cur["trigger_count"],
+                                       p.trigger_count)
+            cur["validated"] = cur["validated"] or p.validated
+        assert set(state.patches) == set(by_key)
+        for key, expected in by_key.items():
+            got = state.patches[key]
+            assert got["trigger_count"] == expected["trigger_count"]
+            assert got["validated"] == expected["validated"]

@@ -114,3 +114,41 @@ class TestQuarantine:
         assert q.current_bytes == 10
         # restore must not have triggered releases
         assert released == []
+
+    def test_drain_counts_evictions(self):
+        """A bulk drain really frees every entry; each one is an
+        eviction in Table 5's accounting, same as threshold evictions."""
+        q, _ = self.make(threshold=250)
+        q.add(0x1000, 100, None, False)
+        q.add(0x2000, 100, None, False)
+        q.add(0x3000, 100, None, False)   # threshold eviction: 1
+        assert q.evictions == 1
+        q.drain()                          # bulk: +2
+        assert q.evictions == 3
+        q.drain()                          # empty drain: +0
+        assert q.evictions == 3
+
+    def test_snapshot_isolated_from_live_mutation(self):
+        """snapshot() must deep-copy: mutating a live entry after the
+        capture (e.g. patch attribution) must not bleed into the
+        checkpointed state."""
+        q, _ = self.make()
+        q.add(0x1000, 10, None, False)
+        snap = q.snapshot()
+        live = q.find_containing(0x1000)
+        live.patch_id = 99
+        live.canary_filled = True
+        q.restore(snap)
+        restored = q.find_containing(0x1000)
+        assert restored.patch_id is None
+        assert restored.canary_filled is False
+
+    def test_snapshot_restores_eviction_counter(self):
+        q, _ = self.make(threshold=150)
+        q.add(0x1000, 100, None, False)
+        snap = q.snapshot()
+        q.add(0x2000, 100, None, False)   # evicts 0x1000
+        assert q.evictions == 1
+        q.restore(snap)
+        assert q.evictions == 0
+        assert q.accumulated_bytes == 100
