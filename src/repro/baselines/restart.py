@@ -80,6 +80,11 @@ class RestartRuntime:
             absolute = self._cursor + consumed
             self._cursor = self.workload.next_boundary_after(absolute + 1)
             if restarts >= self.max_restarts:
-                result.reason = "gave-up"
+                # Distinct terminal reason: the restart *budget* ran
+                # out, as opposed to any in-band program outcome.
+                result.reason = "restart.exhausted"
                 result.restarts = restarts
+                self.events.emit(self.clock.now_ns, "restart.exhausted",
+                                 restarts=restarts,
+                                 max_restarts=self.max_restarts)
                 return result

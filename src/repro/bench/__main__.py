@@ -30,7 +30,16 @@ def main(argv=None) -> int:
                         "with N worker processes before the "
                         "experiments run (results are identical; "
                         "only wall-clock changes)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the cross-layer chaos storm instead "
+                        "of the paper tables: inject faults at the "
+                        "checkpoint/diagnosis/worker/monitor/"
+                        "validation layers and report the "
+                        "degradation-ladder outcome")
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        return _run_chaos()
 
     if args.workers > 1:
         from repro.bench.harness import overhead_sweep
@@ -59,6 +68,26 @@ def main(argv=None) -> int:
                 handle.write(f"_regenerated in {elapsed:.1f}s_\n\n")
         print(f"wrote {args.write_md}")
     return 0
+
+
+def _run_chaos() -> int:
+    from repro.chaos.storm import run_storm
+    t0 = time.time()
+    result = run_storm()
+    print(f"chaos storm: {len(result.sessions)} supervised sessions, "
+          f"{result.faults_fired} faults fired "
+          f"({result.fired_by_kind})")
+    print(f"rung histogram: "
+          f"{dict(sorted(result.rung_histogram.items()))}")
+    print(f"survival: supervised {result.survival_rate:.0%} vs "
+          f"no-supervisor baseline "
+          f"{result.baseline_survival_rate:.0%}; "
+          f"unhandled exceptions: {result.unhandled}")
+    print(f"[storm ran in {time.time() - t0:.1f}s]")
+    ok = (result.unhandled == 0
+          and all(s.survived for s in result.sessions)
+          and result.survival_rate > result.baseline_survival_rate)
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -197,6 +197,9 @@ class SessionDigest:
     validation_reasons: Tuple[Tuple[str, ...], ...]
     #: full bug reports rendered with every timestamp masked
     reports: Tuple[Optional[str], ...]
+    #: degradation-ladder rung that resolved each failure (all 1s on
+    #: the no-escalation path, and always with supervisor=False)
+    rungs: Tuple[int, ...] = ()
     # -- timing (excluded from the equivalence key) --
     recovery_time_ns: Tuple[int, ...] = ()
     validation_time_ns: Tuple[int, ...] = ()
@@ -210,12 +213,13 @@ class SessionDigest:
         return (self.app, self.reason, self.recoveries, self.succeeded,
                 self.verdicts, self.bug_types, self.rollbacks,
                 self.patch_points, self.validation_consistent,
-                self.validation_reasons, self.reports)
+                self.validation_reasons, self.reports, self.rungs)
 
 
 def run_app_session(app_name: str, triggers: int = 2,
                     workers: int = 1,
-                    telemetry: bool = False) -> SessionDigest:
+                    telemetry: bool = False,
+                    supervisor: bool = True) -> SessionDigest:
     """Run one app under First-Aid and digest the session.  Top-level
     (and addressed by app *name*) so the call itself can ship to a
     worker process when benchmark sessions fan out."""
@@ -223,7 +227,8 @@ def run_app_session(app_name: str, triggers: int = 2,
 
     app = {a.name: a for a in all_apps()}[app_name]
     wl = spaced_workload(app, triggers)
-    config = FirstAidConfig(workers=workers, telemetry=telemetry)
+    config = FirstAidConfig(workers=workers, telemetry=telemetry,
+                            supervisor=supervisor)
     started = _time.perf_counter()
     runtime, session, _ = run_first_aid(app, wl, config=config)
     wall = _time.perf_counter() - started
@@ -253,6 +258,7 @@ def run_app_session(app_name: str, triggers: int = 2,
         reports=tuple(
             r.report.render(redact_times=True) if r.report else None
             for r in recs),
+        rungs=tuple(r.rung for r in recs),
         recovery_time_ns=tuple(r.recovery_time_ns for r in recs),
         validation_time_ns=tuple(
             r.validation.time_ns if r.validation else 0 for r in recs),

@@ -1,0 +1,15 @@
+"""Cross-layer chaos harness (DESIGN.md §10).
+
+A shared armed-fault protocol (:class:`~repro.chaos.plan.FaultPlan`,
+generalized from the patch store's injector), the recovery-layer fault
+vocabulary (:class:`~repro.chaos.faults.ChaosPlan`), and the fault
+storm runner (:mod:`repro.chaos.storm`) that drives whole First-Aid
+sessions under randomized fault plans to prove the degradation ladder
+holds the line: no unhandled exceptions, every session recovers on
+some rung or restarts cleanly.
+"""
+
+from repro.chaos.faults import ChaosError, ChaosPlan
+from repro.chaos.plan import FaultPlan
+
+__all__ = ["ChaosError", "ChaosPlan", "FaultPlan"]

@@ -1,0 +1,60 @@
+"""The shared armed-fault protocol.
+
+Fault injection across this repo follows one shape, first grown in the
+patch store (:mod:`repro.store.faults`) and generalized here so every
+layer -- checkpointing, diagnosis, validation, the worker pool, the
+recovery supervisor itself -- can consult the same kind of plan: an
+explicitly *armed* queue of faults that the instrumented code checks at
+its vulnerable points.  With nothing armed, every check is a dict
+lookup returning False (and the plan itself is usually ``None``, which
+costs a single identity test), so production paths pay nothing.
+
+Subclasses declare their fault vocabulary in ``KINDS`` and add the
+static *effects* (what actually happens when a take succeeds) next to
+the code that invokes them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+
+class FaultPlan:
+    """An armed-fault queue plus counters of what actually fired.
+
+    ``arm(kind, n)`` queues ``n`` faults of ``kind``; each ``take(kind)``
+    at an injection point consumes one and returns True.  ``fired``
+    records what actually happened, which is what storm gates assert
+    on -- an armed fault whose layer never runs does not count.
+    """
+
+    #: The fault vocabulary; subclasses override (or pass ``kinds``).
+    KINDS: Tuple[str, ...] = ()
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None) -> None:
+        self.kinds: Tuple[str, ...] = (tuple(kinds) if kinds is not None
+                                       else self.KINDS)
+        self._armed: Dict[str, int] = {k: 0 for k in self.kinds}
+        self.fired: Dict[str, int] = {k: 0 for k in self.kinds}
+
+    def arm(self, kind: str, count: int = 1) -> None:
+        if kind not in self._armed:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self._armed[kind] += count
+
+    def take(self, kind: str) -> bool:
+        """Consume one armed fault of ``kind`` if available."""
+        if self._armed.get(kind, 0) > 0:
+            self._armed[kind] -= 1
+            self.fired[kind] += 1
+            return True
+        return False
+
+    def pending(self, kind: str) -> int:
+        return self._armed.get(kind, 0)
+
+    def total_pending(self) -> int:
+        return sum(self._armed.values())
+
+    def total_fired(self) -> int:
+        return sum(self.fired.values())

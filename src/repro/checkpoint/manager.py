@@ -117,7 +117,8 @@ class CheckpointManager:
                  enabled: bool = True,
                  incremental: bool = True,
                  keyframe_every: int = DEFAULT_KEYFRAME_EVERY,
-                 telemetry=None):
+                 telemetry=None,
+                 chaos=None):
         if keyframe_every < 1:
             raise ValueError("keyframe_every must be >= 1")
         self.process = process
@@ -154,6 +155,9 @@ class CheckpointManager:
         #: patch-store refresh) rides the checkpoint cadence instead of
         #: adding a second timer to the hot loop.
         self.on_boundary = None
+        #: Optional :class:`~repro.chaos.ChaosPlan`; consulted only at
+        #: rollback time, never on the instruction path.
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
 
@@ -346,6 +350,8 @@ class CheckpointManager:
         """
         process = self.process
         mem = process.mem
+        if self.chaos is not None:
+            self._inject_rollback_faults(checkpoint)
         pages_restored = self._rollback_in_place(checkpoint)
         if pages_restored is None:
             process.restore(checkpoint.materialize())
@@ -368,6 +374,27 @@ class CheckpointManager:
                          to_index=checkpoint.index,
                          instr=checkpoint.instr_count,
                          pages_restored=pages_restored)
+
+    def _inject_rollback_faults(self, checkpoint: Checkpoint) -> None:
+        """Armed chaos faults at the restore boundary (DESIGN.md §10):
+        a missing snapshot aborts the rollback; a corrupt one restores
+        scribbled pages and lets the re-execution run on garbage."""
+        if self.chaos.take("checkpoint_missing"):
+            self.events.emit(self.process.clock.now_ns,
+                             "chaos.checkpoint_missing",
+                             to_index=checkpoint.index)
+            raise CheckpointError(
+                f"checkpoint #{checkpoint.index} unavailable "
+                f"(injected fault)")
+        if self.chaos.take("checkpoint_corrupt"):
+            page = self.chaos.scribble_checkpoint(checkpoint)
+            # Force the full-restore path so the scribbled payload is
+            # guaranteed to reach the heap (the in-place diff might not
+            # cover it).
+            self._position = None
+            self.events.emit(self.process.clock.now_ns,
+                             "chaos.checkpoint_corrupt",
+                             to_index=checkpoint.index, page=page)
 
     def _rollback_in_place(self, checkpoint: Checkpoint) -> Optional[int]:
         """Try the O(pages changed) restore path; returns the number of

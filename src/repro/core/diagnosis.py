@@ -166,6 +166,17 @@ class _TaskBatch:
             engine._build_probe_task(req, base + req.salt_offset,
                                      window_end)
             for req in reqs]
+        if engine.chaos is not None and self._tasks:
+            # Chaos markers ride on the first task of the batch -- the
+            # first one the serial decision order consumes -- so an
+            # armed probe fault is guaranteed to be observed.  The
+            # raise fires identically in a worker or in-process; the
+            # hang only bites real workers (the in-process rescue path
+            # ignores it, which *is* the rescue).
+            if engine.chaos.take("probe_raise"):
+                self._tasks[0].raise_marker = True
+            if engine.chaos.take("probe_hang"):
+                self._tasks[0].hang_marker = True
         self._handle = engine.executor.submit(self._tasks)
         workers = max(1, engine.executor.workers)
         self._lanes_rb = [0] * workers
@@ -232,7 +243,8 @@ class DiagnosticEngine:
                  use_heap_marking: bool = True,
                  site_search: str = "binary",
                  telemetry: Optional[Telemetry] = None,
-                 executor=None):
+                 executor=None,
+                 chaos=None):
         if site_search not in ("binary", "linear"):
             raise ValueError(f"site_search must be 'binary' or "
                              f"'linear', not {site_search!r}")
@@ -256,6 +268,9 @@ class DiagnosticEngine:
         #: execution backend for probe batches (see module docstring);
         #: None keeps the original live-process serial loop.
         self.executor = executor
+        #: Optional :class:`~repro.chaos.ChaosPlan`; consulted once per
+        #: probe, never per instruction.
+        self.chaos = chaos
         self._rollbacks = 0
         self._entropy_salt = 1000
         #: encoded snapshots per checkpoint index -- probes from the
@@ -405,6 +420,23 @@ class DiagnosticEngine:
     def _reexecute(self, checkpoint: Checkpoint, policy: DiagnosticPolicy,
                    window_end: int, mark: bool = False) -> _Outcome:
         process = self.process
+        if self.chaos is not None:
+            from repro.chaos.faults import ChaosError
+            if self.chaos.take("probe_raise"):
+                self.events.emit(process.clock.now_ns,
+                                 "chaos.probe_raise",
+                                 checkpoint=checkpoint.index)
+                raise ChaosError("injected probe crash during "
+                                 "diagnostic re-execution")
+            if self.chaos.take("probe_hang"):
+                # An in-process hung probe: the engine's deadline fires
+                # after probe_timeout_ns of simulated time, then the
+                # probe is rescued by re-running it inline.
+                process.clock.charge(self.chaos.probe_timeout_ns)
+                self.events.emit(process.clock.now_ns,
+                                 "chaos.probe_hang_rescued",
+                                 checkpoint=checkpoint.index,
+                                 deadline_ns=self.chaos.probe_timeout_ns)
         with self.telemetry.span("diagnosis.iteration",
                                  checkpoint=checkpoint.index) as it_span:
             with self.telemetry.span("rollback",

@@ -92,6 +92,40 @@ class FirstAidConfig:
     #: runs emit one checkpoint event per interval forever; the bound
     #: keeps the log's footprint constant.
     max_events: Optional[int] = 4096
+    #: Graceful-degradation ladder (repro.supervisor, DESIGN.md §10).
+    #: On: every failure runs through the rung sequence targeted patch
+    #: -> prevent-all -> plain rollback -> restart, so a failure the
+    #: targeted path cannot handle degrades instead of killing the
+    #: session.  The no-escalation path (rung 1 succeeds) is
+    #: byte-identical to supervisor=False.
+    supervisor: bool = True
+    #: Highest ladder rung the supervisor may try (1..4).  Below 4 the
+    #: restart floor is disallowed too -- exhausting the allowed rungs
+    #: then kills the session exactly like supervisor=False.
+    max_rungs: int = 4
+    #: Per-failure recovery budget in *simulated* nanoseconds (the same
+    #: clock recovery_time_ns is measured on; parallel re-executions
+    #: charge max-over-workers, §8).  Rung 1 always runs; rungs 2-3 are
+    #: skipped once the budget is spent.  The restart floor is
+    #: budget-exempt.  None = unbounded.
+    recovery_budget_ns: Optional[int] = None
+    #: Restart-floor bound: total rung-4 restarts per session.
+    max_restarts: int = 16
+    #: Request boundaries (input-cursor positions) for restart resync:
+    #: rung 4 drops the in-flight request and resumes the stream at the
+    #: first boundary past the crash cursor, mirroring
+    #: repro.baselines.restart.  None resumes exactly where the stream
+    #: stands.
+    restart_boundaries: Optional[List[int]] = None
+    #: Optional :class:`~repro.chaos.ChaosPlan`: armed faults injected
+    #: at the checkpoint/diagnosis/validation/worker/monitor layers
+    #: (repro.chaos).  None (default) compiles every hook to a no-op
+    #: check off the per-instruction path.
+    chaos: Optional[object] = None
+    #: Host-side deadline (seconds) per worker task result; a hung
+    #: worker past it is abandoned and the task rescued in-process.
+    #: None waits forever (the pre-chaos behaviour).
+    worker_timeout_s: Optional[float] = None
 
 
 @dataclass
@@ -108,6 +142,18 @@ class RecoveryRecord:
     #: real wall-clock seconds handling this failure (host time; the
     #: parallel benchmark compares this across backends).
     wall_s: float = 0.0
+    #: Ladder rung that resolved this failure (1 = targeted patch, the
+    #: only rung that exists with supervisor=False; see
+    #: repro.supervisor.ladder.Rung).
+    rung: int = 1
+    #: Per-rung attempts, in escalation order
+    #: (:class:`~repro.supervisor.ladder.RungAttempt`).  Empty when the
+    #: supervisor is disabled.
+    rung_trail: List = field(default_factory=list)
+    #: Simulated nanoseconds the whole ladder spent on this failure.
+    budget_spent_ns: int = 0
+    #: True when the restart floor (rung 4) resolved this failure.
+    restarted: bool = False
 
 
 @dataclass
@@ -162,6 +208,9 @@ class FirstAidRuntime:
             quarantine_threshold=self.config.quarantine_threshold,
             entropy_seed=self.config.entropy_seed,
         )
+        #: The session's base cost model, kept for restart respawns (a
+        #: chaos fault could interrupt an engine mid cost-model swap).
+        self._costs = self.process.costs
         self.policy = PatchPolicy(self.pool)
         self.process.extension.policy = self.policy
         self.process.extension.patch_memory_limit = \
@@ -169,7 +218,23 @@ class FirstAidRuntime:
         self.process.attach_telemetry(self.telemetry)
         if self.telemetry.enabled:
             self.events.tap = self.telemetry.recorder.record_event
-        self.manager = CheckpointManager(
+        self.manager = self._make_manager()
+        self.monitors = monitors if monitors is not None \
+            else default_monitors()
+        #: Execution backend shared by diagnosis and validation; None
+        #: (workers <= 1) keeps the legacy in-process serial paths.
+        self.executor = make_executor(
+            self.config.workers, program, self.telemetry,
+            task_timeout_s=self.config.worker_timeout_s)
+        self.validator = ValidationEngine(
+            self.config.validation_iterations, self.events,
+            telemetry=self.telemetry, executor=self.executor,
+            store=self.store, chaos=self.config.chaos)
+        self.recoveries: List[RecoveryRecord] = []
+        self._recovery_supervisor = None
+
+    def _make_manager(self) -> CheckpointManager:
+        manager = CheckpointManager(
             self.process,
             interval=self.config.checkpoint_interval,
             max_keep=self.config.max_checkpoints,
@@ -180,25 +245,28 @@ class FirstAidRuntime:
             incremental=self.config.incremental_checkpoints,
             keyframe_every=self.config.keyframe_every,
             telemetry=self.telemetry,
+            chaos=self.config.chaos,
         )
-        self.monitors = monitors if monitors is not None \
-            else default_monitors()
-        #: Execution backend shared by diagnosis and validation; None
-        #: (workers <= 1) keeps the legacy in-process serial paths.
-        self.executor = make_executor(self.config.workers, program,
-                                      self.telemetry)
-        self.validator = ValidationEngine(
-            self.config.validation_iterations, self.events,
-            telemetry=self.telemetry, executor=self.executor,
-            store=self.store)
-        self.recoveries: List[RecoveryRecord] = []
         if self.store is not None:
-            self.manager.on_boundary = self._store_refresh_tick
+            manager.on_boundary = self._store_refresh_tick
+        return manager
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op in serial mode)."""
+        """Release every external resource: the worker pool (no-op in
+        serial mode) and, defensively, the shared store's file lock
+        (idempotent; only held if a fault interrupted a store
+        operation mid-critical-section)."""
         if self.executor is not None:
             self.executor.close()
+        if self.store is not None:
+            self.store.lock.release()
+
+    def __enter__(self) -> "FirstAidRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def _load_pool(self, program_name: str) -> PatchPool:
         path = self.config.pool_path
@@ -267,7 +335,16 @@ class FirstAidRuntime:
     def run(self, max_steps: Optional[int] = None) -> SessionResult:
         """Run until the program finishes (halt or input exhausted),
         the optional step budget runs out, or an unrecoverable failure
-        kills it."""
+        kills it.  Any exception escaping the loop -- including
+        chaos-injected ones -- closes the runtime first, so worker
+        pools and store locks never leak from a crashed session."""
+        try:
+            return self._run_loop(max_steps)
+        except BaseException:
+            self.close()
+            raise
+
+    def _run_loop(self, max_steps: Optional[int]) -> SessionResult:
         budget = max_steps
         while True:
             start = self.process.instr_count
@@ -283,8 +360,24 @@ class FirstAidRuntime:
                                                   self.recoveries))
             failure = self._detect_failure(result)
             if failure is None:
-                # A fault no monitor claims: treat as fatal.
-                return self._finish(SessionResult("died", self.recoveries))
+                if self.config.supervisor and result.fault is not None:
+                    # No monitor claimed the fault (e.g. an injected
+                    # monitor miss).  The supervisor still gets a
+                    # synthetic failure event: its diagnosis starts
+                    # from the fault itself, and the ladder guarantees
+                    # the session degrades instead of dying silently.
+                    failure = FailureEvent(
+                        fault=result.fault,
+                        instr_count=self.process.instr_count,
+                        time_ns=self.process.clock.now_ns,
+                        monitor="unclaimed")
+                    self.events.emit(self.process.clock.now_ns,
+                                     "failure.unclaimed",
+                                     detail=failure.describe())
+                else:
+                    # A fault no monitor claims: treat as fatal.
+                    return self._finish(SessionResult("died",
+                                                      self.recoveries))
             record = self._handle_failure(failure)
             self.recoveries.append(record)
             if not record.succeeded:
@@ -300,6 +393,15 @@ class FirstAidRuntime:
         return session
 
     def _detect_failure(self, result: RunResult) -> Optional[FailureEvent]:
+        chaos = self.config.chaos
+        if chaos is not None and result.fault is not None \
+                and chaos.take("monitor_miss"):
+            # Injected monitor false negative: the fault happened but
+            # no monitor reports it.
+            self.events.emit(self.process.clock.now_ns,
+                             "chaos.monitor_miss",
+                             fault=result.fault.describe())
+            return None
         for monitor in self.monitors:
             event = monitor.check(result, self.process)
             if event is not None:
@@ -317,11 +419,58 @@ class FirstAidRuntime:
         with self.telemetry.span("recovery",
                                  failure=failure.describe()) as span:
             started = time.perf_counter()
-            record = self._handle_failure_traced(failure)
+            if self.config.supervisor:
+                record = self._supervisor().handle(failure)
+            else:
+                record = self._handle_failure_traced(failure)
             record.wall_s = time.perf_counter() - started
             span.set(succeeded=record.succeeded,
                      recovery_time_ns=record.recovery_time_ns)
+            if record.rung > 1:
+                span.set(rung=record.rung)
+            if not record.succeeded:
+                # Terminal outcome, previously silent: record *that* we
+                # gave up and why, for the operator and the bug report.
+                verdict = (record.diagnosis.verdict.value
+                           if record.diagnosis is not None else "unknown")
+                trail = record.rung_trail
+                self.events.emit(
+                    self.process.clock.now_ns, "recovery.gave_up",
+                    verdict=verdict,
+                    rungs=[a.rung for a in trail] or [1],
+                    reasons=([a.describe() for a in trail]
+                             or list(record.notes)))
             return record
+
+    def _supervisor(self):
+        if self._recovery_supervisor is None:
+            from repro.supervisor.ladder import RecoverySupervisor
+            self._recovery_supervisor = RecoverySupervisor(self)
+        return self._recovery_supervisor
+
+    def _respawn(self) -> None:
+        """Restart-from-scratch (ladder rung 4): a fresh process on the
+        *same* clock, input stream, and output log -- service
+        continuity over state continuity, exactly the restart
+        baseline's semantics -- plus a fresh checkpoint manager (old
+        checkpoints describe a heap that no longer exists)."""
+        old = self.process
+        self.process = Process(
+            old.program,
+            input_stream=old.input,
+            mode=ExtensionMode.NORMAL,
+            policy=self.policy,
+            clock=old.clock,
+            costs=self._costs,
+            heap_limit=self.config.heap_limit,
+            quarantine_threshold=self.config.quarantine_threshold,
+            entropy_seed=self.config.entropy_seed,
+            output=old.output,
+        )
+        self.process.extension.patch_memory_limit = \
+            self.config.max_patch_memory
+        self.process.attach_telemetry(self.telemetry)
+        self.manager = self._make_manager()
 
     def _handle_failure_traced(self,
                                failure: FailureEvent) -> RecoveryRecord:
@@ -334,7 +483,8 @@ class FirstAidRuntime:
             window_intervals=self.config.window_intervals,
             max_rollbacks=self.config.max_rollbacks,
             telemetry=self.telemetry,
-            executor=self.executor)
+            executor=self.executor,
+            chaos=self.config.chaos)
         diagnosis = engine.diagnose(failure)
         record.diagnosis = diagnosis
         for event in diag_log:

@@ -99,10 +99,13 @@ class ValidationEngine:
     def __init__(self, iterations: int = 3,
                  events: Optional[EventLog] = None,
                  telemetry: Optional[Telemetry] = None,
-                 executor=None, store=None):
+                 executor=None, store=None, chaos=None):
         self.iterations = iterations
         self.events = events if events is not None else EventLog()
         self.telemetry = telemetry or Telemetry.disabled()
+        #: Optional :class:`~repro.chaos.ChaosPlan`; consulted once per
+        #: validation batch.
+        self.chaos = chaos
         #: execution backend for the validation batch; None builds a
         #: per-call SerialExecutor over the process's program.
         self.executor = executor
@@ -183,6 +186,13 @@ class ValidationEngine:
         baseline = handle.result(self.iterations)
         times.append(baseline.time_ns)
         result.baseline_mm_trace = baseline.mm_trace
+        if self.chaos is not None \
+                and self.chaos.take("validation_flaky"):
+            # A flaky re-failure: the region re-fails under one
+            # randomization, which must read as an inconsistent patch
+            # and drive the retraction path, never a crash.
+            result.iterations[0].passed = False
+            self.events.emit(0, "chaos.validation_flaky", seed=101)
         # Spare-core accounting: the batch costs its busiest worker
         # lane.  With one worker this is the plain sum, i.e. the
         # original serial validation time.

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence
 
@@ -70,6 +72,12 @@ def _init_worker(program: Program) -> None:
     _IN_WORKER = True
 
 
+#: How long a chaos-hung worker actually sleeps.  Short enough that a
+#: discarded pool's stragglers drain quickly at interpreter exit, long
+#: enough to outlive any sane task timeout.
+HANG_SLEEP_S = 3.0
+
+
 def _worker_run(task: ReexecTask) -> TaskOutcome:
     if task.fail_marker and _IN_WORKER:
         # Fault-injection hook: die like a crashed worker (no Python
@@ -77,6 +85,11 @@ def _worker_run(task: ReexecTask) -> TaskOutcome:
         # _IN_WORKER lets the serial-fallback path run the same task
         # in-process without re-dying.
         os._exit(43)
+    if task.hang_marker and _IN_WORKER:
+        # Chaos hook: hang past the executor's task timeout; the
+        # consumer's deadline fires and the task is rescued in-process
+        # (where the marker is ignored).
+        time.sleep(HANG_SLEEP_S)
     assert _WORKER_PROGRAM is not None
     return run_task(_WORKER_PROGRAM, task)
 
@@ -182,8 +195,21 @@ class _ForkBatch:
         if future is None:
             return self._ex._rescue(self.tasks[index])
         try:
-            return future.result()
-        except (BrokenProcessPool, OSError, EOFError):
+            return future.result(timeout=self._ex.task_timeout_s)
+        except FutureTimeout:
+            # A hung worker: discard the pool (its stragglers drain in
+            # the background) and rescue this task in-process, where
+            # run_task executes the identical pure function.
+            self._ex.worker_timeouts += 1
+            self._ex._m_timeouts.inc()
+            self._ex._discard_pool()
+            self._futures[index] = None
+            return self._ex._rescue(self.tasks[index])
+        except (BrokenProcessPool, OSError, EOFError, CancelledError):
+            # CancelledError: a prior failure in this batch discarded
+            # the pool with cancel_futures=True, so later indices of
+            # the same batch surface as cancelled -- rescue them the
+            # same way instead of letting the cancellation escape.
             self._ex._discard_pool()
             self._futures[index] = None
             return self._ex._rescue(self.tasks[index])
@@ -194,10 +220,19 @@ class ForkExecutor(_ExecutorBase):
 
     name = "fork"
 
-    def __init__(self, workers: int, program: Program, telemetry=None):
+    def __init__(self, workers: int, program: Program, telemetry=None,
+                 task_timeout_s: Optional[float] = None):
         super().__init__(program, telemetry)
         self.workers = max(1, int(workers))
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Host-side deadline per task result (None waits forever).
+        #: Configure via FirstAidConfig.worker_timeout_s when chaos may
+        #: hang workers; a fired deadline rescues the task in-process.
+        self.task_timeout_s = task_timeout_s
+        #: tasks rescued in-process after a hung worker's deadline
+        self.worker_timeouts = 0
+        self._m_timeouts = \
+            self.telemetry.metrics.counter("parallel.worker_timeouts")
         self.telemetry.metrics.gauge("parallel.workers").set(self.workers)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -240,11 +275,14 @@ class ForkExecutor(_ExecutorBase):
 
 
 def make_executor(workers: int, program: Program,
-                  telemetry=None) -> Optional[ForkExecutor]:
+                  telemetry=None,
+                  task_timeout_s: Optional[float] = None
+                  ) -> Optional[ForkExecutor]:
     """The runtime's backend selector: ``None`` for ``workers <= 1``
     (the engines keep their legacy live-process serial paths, which
     stay bit-compatible with the seed), a :class:`ForkExecutor`
     otherwise."""
     if workers and workers > 1:
-        return ForkExecutor(workers, program, telemetry)
+        return ForkExecutor(workers, program, telemetry,
+                            task_timeout_s=task_timeout_s)
     return None

@@ -109,6 +109,15 @@ class ReexecTask:
     #: (exercises the serial-fallback path).  In-process execution
     #: ignores it.
     fail_marker: bool = False
+    #: Chaos hook: executing this task raises
+    #: :class:`~repro.chaos.ChaosError` instead of producing an
+    #: outcome -- in a worker *and* in-process, modeling a probe that
+    #: genuinely crashes wherever it runs.
+    raise_marker: bool = False
+    #: Chaos hook: a worker that picks this task up hangs (sleeps past
+    #: the executor's task timeout).  In-process execution ignores it,
+    #: so the timeout rescue produces the real outcome.
+    hang_marker: bool = False
 
 
 @dataclass
@@ -138,6 +147,9 @@ def run_task(program: Program, task: ReexecTask) -> TaskOutcome:
     restore the snapshot, install the policy/patches, reseed entropy,
     run to the window end, then scan for manifestations.
     """
+    if task.raise_marker:
+        from repro.chaos.faults import ChaosError
+        raise ChaosError(f"injected probe crash ({task.label})")
     state = decode_state(task.state, program)
     process = Process(program, mode=ExtensionMode.DIAGNOSTIC,
                       costs=task.costs, heap_limit=task.heap_limit,

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict
+
+from repro.chaos.plan import FaultPlan as _BasePlan
 
 KINDS = ("torn_write", "stale_lock", "corrupt")
 
@@ -42,31 +43,12 @@ class TornWriteCrash(Exception):
     code never raises it, and tests/benchmarks catch it explicitly."""
 
 
-class FaultPlan:
-    """An armed-fault queue plus counters of what actually fired."""
+class FaultPlan(_BasePlan):
+    """The store's armed-fault queue: the arm/take/fired protocol comes
+    from the shared :class:`repro.chaos.plan.FaultPlan` base; the
+    store-specific effects live below."""
 
-    def __init__(self) -> None:
-        self._armed: Dict[str, int] = {k: 0 for k in KINDS}
-        self.fired: Dict[str, int] = {k: 0 for k in KINDS}
-
-    def arm(self, kind: str, count: int = 1) -> None:
-        if kind not in self._armed:
-            raise ValueError(f"unknown fault kind {kind!r}")
-        self._armed[kind] += count
-
-    def take(self, kind: str) -> bool:
-        """Consume one armed fault of ``kind`` if available."""
-        if self._armed.get(kind, 0) > 0:
-            self._armed[kind] -= 1
-            self.fired[kind] += 1
-            return True
-        return False
-
-    def pending(self, kind: str) -> int:
-        return self._armed.get(kind, 0)
-
-    def total_fired(self) -> int:
-        return sum(self.fired.values())
+    KINDS = KINDS
 
     # ------------------------------------------------------------------
     # fault effects (invoked by the store when a take() succeeds)

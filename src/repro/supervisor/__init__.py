@@ -1,0 +1,12 @@
+"""Graceful-degradation ladder (DESIGN.md §10).
+
+The recovery supervisor wraps every failure-handling attempt in a
+four-rung ladder -- targeted patch, whole-program preventive mode,
+plain rollback re-execution, restart-from-scratch -- gated by a
+per-failure simulated-time budget, so the session degrades instead of
+dying when the targeted path cannot help.
+"""
+
+from repro.supervisor.ladder import RecoverySupervisor, Rung, RungAttempt
+
+__all__ = ["RecoverySupervisor", "Rung", "RungAttempt"]

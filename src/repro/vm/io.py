@@ -109,6 +109,25 @@ class ReplayableInput:
             added += 1
         return added
 
+    def skip_to(self, position: int) -> int:
+        """Advance the cursor forward to ``position``, pulling from the
+        live source as needed and *discarding* the skipped tokens from
+        the consumer's point of view (they stay in the journal).
+
+        This is the restart resync: a fresh process resuming the same
+        stream drops the in-flight request's remaining tokens and picks
+        up at the next request boundary.  Clamped to the journal end
+        when the source runs dry; never moves the cursor backward.
+        Returns the cursor after the skip.
+        """
+        need = position - len(self._journal)
+        if need > 0:
+            self.prefetch(need)
+        position = min(position, len(self._journal))
+        if position > self._cursor:
+            self._cursor = position
+        return self._cursor
+
     def snapshot(self) -> int:
         return self._cursor
 

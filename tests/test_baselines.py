@@ -65,13 +65,18 @@ class TestRestart:
         # completed requests from before and after the crash are seen
         assert len(runtime.output.values()) > 20
 
-    def test_gave_up_guard(self):
+    def test_restart_exhausted_guard(self):
         app = get_app("cvs")
         wl = spaced_workload(app, triggers=3)
         runtime = RestartRuntime(app.program(), wl, max_restarts=2)
         session = runtime.run()
-        assert session.reason == "gave-up"
+        assert session.reason == "restart.exhausted"
         assert session.restarts == 2
+        exhausted = [e for e in runtime.events
+                     if e.kind == "restart.exhausted"]
+        assert len(exhausted) == 1
+        assert exhausted[0].data["restarts"] == 2
+        assert exhausted[0].data["max_restarts"] == 2
 
 
 class TestComparison:

@@ -141,7 +141,7 @@ def test_budget_stops_cleanly():
     assert runtime.process.instr_count >= 5_000
 
 
-def test_non_patchable_bug_kills_session():
+def test_non_patchable_bug_kills_session_without_supervisor():
     source = """
     int main() {
         int n = 0;
@@ -156,12 +156,18 @@ def test_non_patchable_bug_kills_session():
     """
     program = compile_program(source, "sem")
     runtime = FirstAidRuntime(program, input_tokens=[1, 1, 5, 1, 0],
-                              config=small_config())
+                              config=small_config(supervisor=False))
     session = runtime.run()
     assert session.reason == "died"
     assert not session.survived_all
     assert session.recoveries[0].diagnosis.verdict is \
         Verdict.NON_PATCHABLE
+    # The dead end is no longer silent: a terminal event records the
+    # verdict and (with the supervisor off) the implicit rung-1 trail.
+    gave_up = [e for e in runtime.events if e.kind == "recovery.gave_up"]
+    assert len(gave_up) == 1
+    assert gave_up[0].data["verdict"] == "non-patchable"
+    assert gave_up[0].data["rungs"] == [1]
 
 
 def test_validation_can_be_disabled():
