@@ -219,7 +219,8 @@ class SessionDigest:
 def run_app_session(app_name: str, triggers: int = 2,
                     workers: int = 1,
                     telemetry: bool = False,
-                    supervisor: bool = True) -> SessionDigest:
+                    supervisor: bool = True,
+                    vm_tier: str = "reference") -> SessionDigest:
     """Run one app under First-Aid and digest the session.  Top-level
     (and addressed by app *name*) so the call itself can ship to a
     worker process when benchmark sessions fan out."""
@@ -228,7 +229,7 @@ def run_app_session(app_name: str, triggers: int = 2,
     app = {a.name: a for a in all_apps()}[app_name]
     wl = spaced_workload(app, triggers)
     config = FirstAidConfig(workers=workers, telemetry=telemetry,
-                            supervisor=supervisor)
+                            supervisor=supervisor, vm_tier=vm_tier)
     started = _time.perf_counter()
     runtime, session, _ = run_first_aid(app, wl, config=config)
     wall = _time.perf_counter() - started

@@ -534,7 +534,8 @@ class DiagnosticEngine:
             patch_memory_limit=process.extension.patch_memory_limit,
             salt=salt,
             policy=req.policy,
-            mark=req.mark)
+            mark=req.mark,
+            vm_tier=process.machine.tier)
 
     # ------------------------------------------------------------------
     # policies for phase 2

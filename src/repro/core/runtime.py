@@ -126,6 +126,14 @@ class FirstAidConfig:
     #: worker past it is abandoned and the task rescued in-process.
     #: None waits forever (the pre-chaos behaviour).
     worker_timeout_s: Optional[float] = None
+    #: VM execution tier ("reference" or "compiled", see
+    #: repro.vm.compile).  The compiled template-JIT tier is observably
+    #: identical -- snapshots, sim time, fault sites, telemetry -- and
+    #: exists purely for wall-clock speed; every re-execution the
+    #: runtime performs (diagnosis probes, validation runs, forked
+    #: worker tasks) inherits the tier.  Tests default to the reference
+    #: interpreter; benches opt into "compiled".
+    vm_tier: str = "reference"
 
 
 @dataclass
@@ -207,6 +215,7 @@ class FirstAidRuntime:
             heap_limit=self.config.heap_limit,
             quarantine_threshold=self.config.quarantine_threshold,
             entropy_seed=self.config.entropy_seed,
+            vm_tier=self.config.vm_tier,
         )
         #: The session's base cost model, kept for restart respawns (a
         #: chaos fault could interrupt an engine mid cost-model swap).
@@ -466,6 +475,7 @@ class FirstAidRuntime:
             quarantine_threshold=self.config.quarantine_threshold,
             entropy_seed=self.config.entropy_seed,
             output=old.output,
+            vm_tier=self.config.vm_tier,
         )
         self.process.extension.patch_memory_limit = \
             self.config.max_patch_memory

@@ -229,7 +229,8 @@ class ValidationEngine:
             pool_name=pool.program_name,
             seed=seed,
             trace_mm=True,
-            trace_accesses=True)
+            trace_accesses=True,
+            vm_tier=process.machine.tier)
 
     def _baseline_task(self, process: Process, state: tuple,
                        window_end: int) -> ReexecTask:
@@ -249,7 +250,8 @@ class ValidationEngine:
             .quarantine.threshold_bytes,
             patch_memory_limit=process.extension.patch_memory_limit,
             salt=1,
-            trace_mm=True)
+            trace_mm=True,
+            vm_tier=process.machine.tier)
 
     # ------------------------------------------------------------------
 

@@ -118,6 +118,10 @@ class ReexecTask:
     #: the executor's task timeout).  In-process execution ignores it,
     #: so the timeout rescue produces the real outcome.
     hang_marker: bool = False
+    #: VM execution tier for the re-execution; travels with the task so
+    #: a forked worker runs the same tier (and hits the same
+    #: process-wide compiled-program cache) as the live process.
+    vm_tier: str = "reference"
 
 
 @dataclass
@@ -153,7 +157,8 @@ def run_task(program: Program, task: ReexecTask) -> TaskOutcome:
     state = decode_state(task.state, program)
     process = Process(program, mode=ExtensionMode.DIAGNOSTIC,
                       costs=task.costs, heap_limit=task.heap_limit,
-                      quarantine_threshold=task.quarantine_threshold)
+                      quarantine_threshold=task.quarantine_threshold,
+                      vm_tier=task.vm_tier)
     process.extension.patch_memory_limit = task.patch_memory_limit
     process.input.preload_journal(task.journal)
     process.output.preload(task.output_prefix)

@@ -19,6 +19,7 @@ from repro.heap.quarantine import DEFAULT_THRESHOLD
 from repro.heap.random_alloc import RandomizedLeaAllocator
 from repro.util.rng import DeterministicRNG
 from repro.util.simclock import CostModel, SimClock
+from repro.vm.compile import TIER_REFERENCE
 from repro.vm.io import OutputLog, ReplayableInput
 from repro.vm.machine import Machine, RunResult
 from repro.vm.program import Program
@@ -59,7 +60,8 @@ class Process:
                  heap_limit: int = DEFAULT_LIMIT,
                  quarantine_threshold: int = DEFAULT_THRESHOLD,
                  entropy_seed: int = 1,
-                 output: Optional[OutputLog] = None):
+                 output: Optional[OutputLog] = None,
+                 vm_tier: str = TIER_REFERENCE):
         self.program = program
         self.costs = costs or CostModel()
         self.clock = clock or SimClock()
@@ -75,7 +77,7 @@ class Process:
         self.output = output if output is not None else OutputLog()
         self.machine = Machine(program, self.mem, self.extension,
                                self.input, self.output, self.clock,
-                               self.costs, entropy_seed)
+                               self.costs, entropy_seed, tier=vm_tier)
 
     # ------------------------------------------------------------------
     # convenience passthroughs
@@ -187,7 +189,8 @@ class Process:
                         costs=self.costs,
                         heap_limit=self.mem.limit,
                         quarantine_threshold=self.extension
-                        .quarantine.threshold_bytes)
+                        .quarantine.threshold_bytes,
+                        vm_tier=self.machine.tier)
         if snap.randomized:
             clone.use_randomized_allocator(seed=1)
         # Bulk-load the journal into the clone's input so the cursor in

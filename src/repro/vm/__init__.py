@@ -17,6 +17,13 @@ from repro.vm.isa import OPCODE_NAMES, Instr
 from repro.vm.program import Function, Program
 from repro.vm.builder import FunctionBuilder, ProgramBuilder
 from repro.vm.io import OutputLog, ReplayableInput
+from repro.vm.compile import (
+    TIER_COMPILED,
+    TIER_REFERENCE,
+    TIERS,
+    bind_program,
+    compiled_for,
+)
 from repro.vm.machine import Machine, RunReason, RunResult
 
 __all__ = [
@@ -31,4 +38,9 @@ __all__ = [
     "Machine",
     "RunReason",
     "RunResult",
+    "TIER_COMPILED",
+    "TIER_REFERENCE",
+    "TIERS",
+    "bind_program",
+    "compiled_for",
 ]

