@@ -104,7 +104,11 @@ def _fleet_process(spec: Tuple[int, str, str, str, int, int]
     index, role, app_name, store_path, triggers, seed = spec
     app = get_app(app_name)
     wl = spaced_workload(app, triggers=triggers, seed=seed)
-    config = FirstAidConfig(store_path=store_path)
+    # Deterministic fleet identity: beacons keyed "leader-0" /
+    # "follower-2" aggregate byte-identically whether the fleet ran
+    # forked or serial (pids never enter the health plane).
+    config = FirstAidConfig(store_path=store_path,
+                            process_label=f"{role}-{index}")
     runtime = FirstAidRuntime(app.program(), input_tokens=wl.tokens,
                               config=config)
     started = time.perf_counter()
@@ -151,6 +155,34 @@ def run_fleet(app_name: str, store_path: str, procs: int = 4,
                              mp_context=ctx) as pool:
         followers = list(pool.map(_fleet_process, specs))
 
+    store = SharedPatchStore(store_path, get_app(app_name).program().name)
+    state = store.load()
+    return FleetRunResult(
+        app=app_name, procs=procs, leader=leader, followers=followers,
+        store_generation=state.generation,
+        store_patches=len(state.patches),
+        store_validated=len(state.validated_keys()),
+        store_max_trigger=max(
+            (int(p.get("trigger_count", 0))
+             for p in state.patches.values()), default=0))
+
+
+def run_fleet_serial(app_name: str, store_path: str, procs: int = 4,
+                     triggers: int = 2) -> FleetRunResult:
+    """The exact experiment of :func:`run_fleet` with every member run
+    sequentially in this host process: same roles, labels, seeds, and
+    store protocol, no forking.  Exists for the health determinism
+    gate -- the fleet health report aggregated from a serial run must
+    be byte-identical to the forked run's, which it can only be if
+    beacons carry nothing host-dependent."""
+    if procs < 2:
+        raise ValueError("a fleet needs at least 2 processes")
+    leader = _fleet_process(
+        (0, "leader", app_name, store_path, triggers, 42))
+    followers = [
+        _fleet_process(
+            (i, "follower", app_name, store_path, triggers, 42 + i))
+        for i in range(1, procs)]
     store = SharedPatchStore(store_path, get_app(app_name).program().name)
     state = store.load()
     return FleetRunResult(
@@ -321,4 +353,112 @@ def run_fault_storm(store_path: str, faults: int = 100,
     result.backup_recoveries = store.recovered_from_backup
     result.stale_locks_broken = store.lock.stale_broken
     result.final_generation = store.load().generation
+    return result
+
+
+# ---------------------------------------------------------------------
+# health fault storm (DESIGN.md §12)
+# ---------------------------------------------------------------------
+
+@dataclass
+class HealthStormResult:
+    """A fault storm aimed at the *health* channel while the patch
+    store keeps doing real work next to it.  The gates: validated
+    patches are untouchable by health faults, and nothing the health
+    path does ever raises past the runtime's guard."""
+
+    faults_requested: int
+    faults_fired: Dict[str, int] = field(default_factory=dict)
+    validated_patches: int = 0
+    validated_lost: int = 0          # gate: must stay 0
+    publishes_attempted: int = 0
+    health_errors: int = 0           # degraded publishes (expected > 0)
+    health_raised: int = 0           # gate: must stay 0
+    quarantined_files: int = 0
+    backup_recoveries: int = 0
+    beacons_visible: int = 0
+    aggregate_errors: int = 0
+    final_report_processes: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def gate_passed(self) -> bool:
+        return (self.validated_lost == 0
+                and self.health_raised == 0
+                and sum(self.faults_fired.values())
+                >= self.faults_requested
+                and self.final_report_processes > 0)
+
+
+def run_health_fault_storm(store_path: str, faults: int = 48,
+                           processes: int = 4,
+                           seed: int = 11) -> HealthStormResult:
+    """Inject ``faults`` health-channel faults (torn writes, stale
+    locks, corrupt files, stale beacons) while ``processes`` synthetic
+    fleet members keep publishing beacons through the same guarded
+    path the runtime uses, with gold validated patches sitting in the
+    patch store next door.  After every fault: the validated patches
+    must all still be there, and the aggregator must still produce a
+    report without raising."""
+    from repro.obs.health import (FleetHealthAggregator, HealthBeacon,
+                                  HealthChannel, HealthFaultPlan,
+                                  health_path)
+
+    rng = random.Random(seed)
+    store = SharedPatchStore(store_path, "storm-app")
+    pool = PatchPool("storm-app")
+    gold = [_storm_patch(pool, i, validated=True) for i in range(4)]
+    store.publish(gold)
+    gold_keys = {p.key for p in gold}
+
+    plan = HealthFaultPlan()
+    channel = HealthChannel(health_path(store_path), "storm-app",
+                            faults=plan, stale_lock_after=0.02)
+    result = HealthStormResult(faults_requested=faults,
+                               validated_patches=len(gold_keys))
+    started = time.perf_counter()
+    seqs = {i: 0 for i in range(processes)}
+    for i in range(faults):
+        kind = HealthFaultPlan.KINDS[rng.randrange(
+            len(HealthFaultPlan.KINDS))]
+        plan.arm(kind)
+        proc = i % processes
+        seqs[proc] += 1
+        beacon = HealthBeacon(
+            process_id=f"member-{proc}", app="storm-app",
+            seq=seqs[proc], time_ns=(i + 1) * 1_000_000,
+            failures=proc, recovered=proc)
+        result.publishes_attempted += 1
+        # The runtime's guard, verbatim: torn writes force-break our
+        # own abandoned lock; everything else degrades to an error.
+        try:
+            try:
+                channel.publish(beacon)
+            except TornWriteCrash:
+                channel.lock.force_break()
+                result.health_errors += 1
+            except Exception:
+                result.health_errors += 1
+        except BaseException:
+            result.health_raised += 1
+        # Gate 1: health faults must never reach the patch store.
+        lost = gold_keys - set(store.load().validated_keys())
+        result.validated_lost += len(lost)
+        # Gate 2: aggregation over whatever survived never raises.
+        try:
+            agg = FleetHealthAggregator()
+            agg.add_state(channel.load())
+            agg.report()
+        except BaseException:
+            result.health_raised += 1
+    result.wall_s = time.perf_counter() - started
+    result.faults_fired = dict(plan.fired)
+    result.quarantined_files = channel.quarantined
+    result.backup_recoveries = channel.recovered_from_backup
+    final = FleetHealthAggregator()
+    final.add_state(channel.load())
+    report = final.report()
+    result.aggregate_errors = final.errors
+    result.beacons_visible = len(report.processes)
+    result.final_report_processes = report.fleet["processes"]
     return result

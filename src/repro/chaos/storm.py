@@ -67,6 +67,15 @@ class ChaosSessionDigest:
     #: workers rescued in-process after a hang deadline (worker storm)
     worker_timeouts: int = 0
     wall_s: float = 0.0
+    #: With a store attached: did this session's health beacon survive
+    #: into the post-session fleet report?  None when no store was
+    #: configured.  Health faults may degrade *mid-run* publishes, but
+    #: the exit beacon retries on a healed channel, so visibility is
+    #: still the expectation under the storm.
+    beacon_visible: Optional[bool] = None
+    #: ``health.error`` events the session emitted (degraded health
+    #: publishes; the faults went somewhere, the session never noticed).
+    health_errors: int = 0
 
 
 @dataclass
@@ -112,21 +121,39 @@ def run_chaos_session(app_name: str, arm: Dict[str, int],
                       supervised: bool = True, triggers: int = 2,
                       seed: int = 42, workers: int = 1,
                       worker_timeout_s: Optional[float] = None,
-                      recovery_budget_ns: Optional[int] = None
+                      recovery_budget_ns: Optional[int] = None,
+                      store_path: Optional[str] = None,
+                      process_label: Optional[str] = None,
+                      health_arm: Optional[Dict[str, int]] = None
                       ) -> ChaosSessionDigest:
     """Run one app session with ``arm`` chaos faults armed and digest
     the outcome.  Exceptions escaping the runtime are captured as
-    ``unhandled``, never raised: the storm measures them."""
+    ``unhandled``, never raised: the storm measures them.
+
+    ``store_path`` attaches a shared store (and its health channel);
+    ``health_arm`` additionally arms
+    :class:`~repro.obs.health.HealthFaultPlan` kinds against that
+    channel -- corrupt, torn, and stale beacons that must degrade to
+    ``health.error`` events while the session sails on."""
     app = get_app(app_name)
     wl = spaced_workload(app, triggers=triggers, seed=seed)
     plan = build_plan(arm)
+    health_faults = None
+    if health_arm:
+        from repro.obs.health import HealthFaultPlan
+        health_faults = HealthFaultPlan()
+        for kind, count in health_arm.items():
+            health_faults.arm(kind, count)
     config = FirstAidConfig(
         supervisor=supervised,
         chaos=plan,
         restart_boundaries=wl.boundaries,
         workers=workers,
         worker_timeout_s=worker_timeout_s,
-        recovery_budget_ns=recovery_budget_ns)
+        recovery_budget_ns=recovery_budget_ns,
+        store_path=store_path,
+        process_label=process_label,
+        health_faults=health_faults)
     started = time.perf_counter()
     runtime = FirstAidRuntime(app.program(), input_tokens=wl.tokens,
                               config=config)
@@ -139,6 +166,13 @@ def run_chaos_session(app_name: str, arm: Dict[str, int],
         unhandled = f"{type(exc).__name__}: {exc}"
     wall = time.perf_counter() - started
     recs = runtime.recoveries
+    beacon_visible = None
+    if store_path is not None:
+        from repro.obs.health import aggregate_store
+        label = process_label or runtime._process_label
+        report = aggregate_store(store_path)
+        beacon_visible = any(row["process_id"] == label
+                             for row in report.processes)
     return ChaosSessionDigest(
         app=app_name,
         seed=seed,
@@ -157,6 +191,9 @@ def run_chaos_session(app_name: str, arm: Dict[str, int],
         unhandled=unhandled,
         worker_timeouts=(runtime.executor.worker_timeouts
                          if runtime.executor is not None else 0),
+        beacon_visible=beacon_visible,
+        health_errors=sum(1 for e in runtime.events
+                          if e.kind == "health.error"),
         wall_s=wall)
 
 

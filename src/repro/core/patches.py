@@ -294,6 +294,12 @@ class PatchPolicy(ChangePolicy):
 
     def __init__(self, pool: PatchPool):
         self._pool = pool
+        #: patch_key -> preventive hits scored by *this* policy.  A
+        #: patch's ``trigger_count`` is fleet-wide (store merges take
+        #: the max across processes), so health beacons report these
+        #: locally-attributed counts instead: they depend only on the
+        #: local execution, never on peer publish timing.
+        self.local_triggers: Dict[str, int] = {}
         self._rebuild()
 
     def _rebuild(self) -> None:
@@ -321,6 +327,8 @@ class PatchPolicy(ChangePolicy):
         if patch is None:
             return AllocDecision.plain()
         patch.trigger_count += 1
+        key = patch.key
+        self.local_triggers[key] = self.local_triggers.get(key, 0) + 1
         change = patch.change
         assert isinstance(change, AllocChange)
         return combine_alloc([change], patch_id=patch.patch_id)
@@ -333,6 +341,8 @@ class PatchPolicy(ChangePolicy):
         if patch is None:
             return FreeDecision.plain()
         patch.trigger_count += 1
+        key = patch.key
+        self.local_triggers[key] = self.local_triggers.get(key, 0) + 1
         change = patch.change
         assert isinstance(change, FreeChange)
         # Delay-free patches always check parameters: a patched free

@@ -25,11 +25,19 @@ from repro.heap.base import DEFAULT_LIMIT
 from repro.heap.extension import ExtensionMode
 from repro.heap.quarantine import DEFAULT_THRESHOLD
 from repro.monitors import ErrorMonitor, FailureEvent, default_monitors
+from repro.obs.health import (
+    LATENCY_BOUNDS,
+    RECOVERY_BOUNDS,
+    HealthBeacon,
+    HealthChannel,
+    health_path,
+)
+from repro.obs.metrics import Histogram
 from repro.obs.telemetry import Telemetry
 from repro.errors import StoreError
 from repro.parallel.executor import make_executor
 from repro.process import Process
-from repro.store import SharedPatchStore
+from repro.store import SharedPatchStore, TornWriteCrash
 from repro.util.events import EventLog
 from repro.util.simclock import CostModel
 from repro.vm.io import ReplayableInput
@@ -75,6 +83,22 @@ class FirstAidConfig:
     #: may run the program.
     store_path: Optional[str] = None
     store_refresh_boundaries: int = 2
+    #: Fleet health plane (repro.obs.health, DESIGN.md §12).  With a
+    #: shared store configured, the runtime publishes a
+    #: :class:`~repro.obs.health.HealthBeacon` into ``<store>.health``
+    #: at every store-refresh boundary and at session exit.  Health
+    #: failures degrade (``health.error`` events), never raise.
+    health: bool = True
+    #: Stable fleet identity for this process's beacons.  Defaults to
+    #: ``<program>#<pid>``, which is fine for ad-hoc runs; harnesses
+    #: that need deterministic reports pass role labels ("leader-0",
+    #: "follower-1") so serial and forked fleets aggregate identically.
+    process_label: Optional[str] = None
+    #: Optional :class:`~repro.obs.health.HealthFaultPlan` armed
+    #: against the health channel only (the patch store keeps its own
+    #: plan); the chaos harness uses it to prove beacon corruption
+    #: never touches recovery.
+    health_faults: Optional[object] = None
     max_recovery_attempts: int = 2
     entropy_seed: int = 1
     #: Worker processes for the parallel recovery engine.  1 (default)
@@ -201,10 +225,22 @@ class FirstAidRuntime:
         self.store = None
         self._store_generation = -1
         self._boundaries_since_refresh = 0
+        #: Fleet health channel (None without a store or with
+        #: config.health off).  Rides next to the patch store and
+        #: reuses its crash-safe machinery; see repro.obs.health.
+        self.health = None
+        self._health_seq = 0
+        self._retractions = 0
+        self._process_label = (self.config.process_label
+                               or f"{program.name}#{os.getpid()}")
         if self.config.store_path:
             self.store = SharedPatchStore(self.config.store_path,
                                           program.name)
             self._store_sync(initial=True)
+            if self.config.health:
+                self.health = HealthChannel(
+                    health_path(self.config.store_path), program.name,
+                    faults=self.config.health_faults)
         self.process = Process(
             program,
             input_tokens=input_tokens,
@@ -269,6 +305,8 @@ class FirstAidRuntime:
             self.executor.close()
         if self.store is not None:
             self.store.lock.release()
+        if self.health is not None:
+            self.health.lock.release()
 
     def __enter__(self) -> "FirstAidRuntime":
         return self
@@ -322,6 +360,7 @@ class FirstAidRuntime:
             return
         if generation != self._store_generation:
             self._store_sync()
+        self._health_publish("running")
 
     def _store_publish(self, patches) -> None:
         if self.store is None or not patches:
@@ -336,6 +375,107 @@ class FirstAidRuntime:
         self.events.emit(self.process.clock.now_ns, "store.published",
                          keys=[p.key for p in patches],
                          generation=state.generation)
+
+    # ------------------------------------------------------------------
+    # fleet health plane (DESIGN.md §12)
+    # ------------------------------------------------------------------
+
+    def _health_beacon(self, reason: str) -> HealthBeacon:
+        """This process's health digest, right now.  Every field is a
+        full snapshot (not a delta) derived from sim-time-stamped,
+        locally-attributed state -- the same program on the same input
+        builds the same beacon sequence regardless of wall clock, pid,
+        or peer publish timing (the determinism the fleet report gates
+        on)."""
+        recoveries = self.recoveries
+        rung_counts = {}
+        for record in recoveries:
+            ran = [a for a in record.rung_trail
+                   if a.outcome != "skipped"]
+            if ran:
+                for attempt in ran:
+                    rung = str(attempt.rung)
+                    rung_counts[rung] = rung_counts.get(rung, 0) + 1
+            else:
+                # Supervisor off (or pre-ladder record): the resolving
+                # rung is all we know.
+                rung = str(record.rung)
+                rung_counts[rung] = rung_counts.get(rung, 0) + 1
+        diagnosed = {}
+        for record in recoveries:
+            if record.diagnosis is None:
+                continue
+            for patch in record.diagnosis.patches:
+                key = patch.key
+                diagnosed[key] = diagnosed.get(key, 0) + 1
+        patches = {}
+        for patch in self.pool.patches():
+            key = patch.key
+            patches[key] = {
+                "triggers": self.policy.local_triggers.get(key, 0),
+                "validated": patch.validated,
+                "created_time_ns": patch.created_time_ns,
+                "diagnosed": diagnosed.get(key, 0),
+            }
+        recovery = Histogram("recovery_ns", RECOVERY_BOUNDS)
+        for record in recoveries:
+            recovery.observe(record.recovery_time_ns)
+        latency = Histogram("latency_ns", LATENCY_BOUNDS)
+        prev = 0
+        for time_ns, _ in self.process.output.entries():
+            latency.observe(time_ns - prev)
+            prev = time_ns
+        self._health_seq += 1
+        return HealthBeacon(
+            process_id=self._process_label,
+            app=self.process.program.name,
+            seq=self._health_seq,
+            time_ns=self.process.clock.now_ns,
+            reason=reason,
+            failures=len(recoveries),
+            recovered=sum(1 for r in recoveries if r.succeeded),
+            gave_up=sum(1 for r in recoveries if not r.succeeded),
+            restarts=sum(1 for r in recoveries if r.restarted),
+            retractions=self._retractions,
+            rung_counts=rung_counts,
+            patches=patches,
+            recovery_ns=recovery.to_snapshot(),
+            latency_ns=latency.to_snapshot(),
+        )
+
+    def _health_publish(self, reason: str) -> None:
+        """Publish a beacon; the health path must never take down the
+        session, so every failure -- torn writes, lock timeouts, a
+        quarantined channel -- degrades to a ``health.error`` event."""
+        if self.health is None:
+            return
+        beacon = self._health_beacon(reason)
+        try:
+            self.health.publish(beacon)
+        except TornWriteCrash as exc:
+            # The injected "publisher died mid-commit" left torn bytes
+            # on disk and our own (live-pid) lock abandoned; ordinary
+            # staleness rules would stall until stale_after, but we
+            # *know* the holder is gone -- it was this very call -- so
+            # break the lock and retry once: this process survived, and
+            # its beacon matters precisely under fault storms.  The
+            # retry quarantines the torn file and recovers from the
+            # backup, the same ladder the patch store hardens.
+            self.health.lock.force_break()
+            self.events.emit(0, "health.error", op="publish",
+                             error=str(exc))
+            try:
+                self.health.publish(beacon)
+            except Exception as exc:
+                self.events.emit(0, "health.error", op="republish",
+                                 error=str(exc))
+                return
+        except Exception as exc:
+            self.events.emit(0, "health.error", op="publish",
+                             error=str(exc))
+            return
+        self.events.emit(self.process.clock.now_ns, "health.published",
+                         seq=beacon.seq, reason=reason)
 
     # ------------------------------------------------------------------
     # main loop
@@ -399,6 +539,10 @@ class FirstAidRuntime:
         if self.store is not None and len(self.pool):
             self._store_sync()
             self._store_publish(self.pool.patches())
+        # The exit beacon goes out even with an empty pool: a fleet
+        # view that only shows processes with patches cannot answer
+        # "did everyone survive?".
+        self._health_publish(session.reason)
         return session
 
     def _detect_failure(self, result: RunResult) -> Optional[FailureEvent]:
@@ -546,6 +690,7 @@ class FirstAidRuntime:
                 # store; drop them locally too.
                 for patch in diagnosis.patches:
                     self.pool.remove(patch.patch_id)
+                self._retractions += 1
                 self.policy.refresh()
                 self.events.emit(self.process.clock.now_ns,
                                  "validation.failed",

@@ -30,6 +30,16 @@ renders the span tree, phase breakdown, and metrics snapshot; see
 ``--help``.
 """
 
+from repro.obs.health import (
+    FleetHealthAggregator,
+    FleetHealthReport,
+    HealthBeacon,
+    HealthChannel,
+    HealthFaultPlan,
+    HealthState,
+    aggregate_store,
+    health_path,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -43,7 +53,13 @@ from repro.obs.tracing import Span, Tracer
 
 __all__ = [
     "Counter",
+    "FleetHealthAggregator",
+    "FleetHealthReport",
     "Gauge",
+    "HealthBeacon",
+    "HealthChannel",
+    "HealthFaultPlan",
+    "HealthState",
     "Histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
@@ -52,4 +68,6 @@ __all__ = [
     "Span",
     "Telemetry",
     "Tracer",
+    "aggregate_store",
+    "health_path",
 ]

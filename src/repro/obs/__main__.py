@@ -6,12 +6,16 @@ Usage::
     python -m repro.obs --app bc             # instrument a registry app
     python -m repro.obs --jsonl out.jsonl    # also export span/metric rows
     python -m repro.obs --render out.jsonl   # re-render a prior export
+    python -m repro.obs --store store.json --app bc   # + health beacon
+    python -m repro.obs fleet store.json     # fleet health report
 
 The demo runs a small buggy server under FirstAidRuntime with telemetry
 enabled, survives the injected overflow, and prints the span tree, the
 Table 5 phase breakdown, and the metrics snapshot.  ``--render`` never
 executes anything: it loads a JSONL export and prints the same report
-from it.
+from it.  ``fleet`` aggregates the health channel riding next to a
+shared patch store (DESIGN.md §12) into the canonical fleet health
+report; ``--json`` prints it as sorted JSON instead of text.
 """
 
 from __future__ import annotations
@@ -72,21 +76,53 @@ def _run_demo(triggers: int):
     return runtime, session, program.name
 
 
-def _run_app(name: str, triggers: int):
+def _run_app(name: str, triggers: int, store: str = None):
     from repro.apps.registry import get_app
     from repro.bench.harness import spaced_workload
     from repro.core.runtime import FirstAidConfig, FirstAidRuntime
 
     app = get_app(name)
     wl = spaced_workload(app, triggers)
-    config = FirstAidConfig(telemetry=True)
+    config = FirstAidConfig(telemetry=True, store_path=store)
     runtime = FirstAidRuntime(app.program(), input_tokens=wl.tokens,
                               config=config)
     session = runtime.run()
     return runtime, session, app.INFO.name
 
 
+def _fleet_main(argv) -> int:
+    import json
+    import os
+
+    from repro.obs.health import aggregate_store
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs fleet",
+        description="Aggregate the fleet health channel next to a "
+        "shared patch store into the canonical fleet health report.")
+    parser.add_argument("store", metavar="STORE",
+                        help="path to the shared patch store (or its "
+                        ".health sidecar)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as sorted JSON instead "
+                        "of text")
+    args = parser.parse_args(argv)
+    report = aggregate_store(args.store)
+    try:
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+    except BrokenPipeError:  # e.g. piped into `head`
+        os.close(sys.stdout.fileno())
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fleet":
+        return _fleet_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Run an instrumented First-Aid session and render "
@@ -102,6 +138,10 @@ def main(argv=None) -> int:
     parser.add_argument("--render", metavar="PATH",
                         help="render a previous JSONL export instead "
                         "of running anything")
+    parser.add_argument("--store", metavar="PATH",
+                        help="shared patch store path: the session "
+                        "publishes patches and health beacons there "
+                        "(render with `python -m repro.obs fleet PATH`)")
     args = parser.parse_args(argv)
 
     if args.render:
@@ -112,7 +152,11 @@ def main(argv=None) -> int:
         return 0
 
     if args.app:
-        runtime, session, name = _run_app(args.app, args.triggers)
+        runtime, session, name = _run_app(args.app, args.triggers,
+                                          store=args.store)
+    elif args.store:
+        parser.error("--store needs --app (the demo program has no "
+                     "registry identity to share a store under)")
     else:
         runtime, session, name = _run_demo(args.triggers)
 
@@ -125,11 +169,16 @@ def main(argv=None) -> int:
           f"survived_all={session.survived_all}")
 
     if args.jsonl:
+        health = []
+        if runtime.health is not None:
+            health = list(
+                runtime.health.load().live_beacons().values())
         with open(args.jsonl, "w") as fh:
             rows = export_jsonl(telemetry, fh, time_ns=now_ns,
                                 meta={"program": name,
                                       "time_ns": now_ns,
-                                      "reason": session.reason})
+                                      "reason": session.reason},
+                                health=health)
         print(f"wrote {rows} rows to {args.jsonl}")
     return 0
 

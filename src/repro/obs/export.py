@@ -25,8 +25,13 @@ from repro.obs.tracing import Span, phase_breakdown, rebuild_tree
 
 def export_jsonl(telemetry: Telemetry, fh: IO[str],
                  time_ns: Optional[int] = None,
-                 meta: Optional[Dict[str, Any]] = None) -> int:
-    """Write spans + a metrics snapshot as JSONL; returns rows written."""
+                 meta: Optional[Dict[str, Any]] = None,
+                 health: Optional[List[Any]] = None) -> int:
+    """Write spans + a metrics snapshot (+ optional health beacons) as
+    JSONL; returns rows written.  ``health`` items are either
+    :class:`~repro.obs.health.HealthBeacon` objects or their
+    ``to_json()`` payloads; rows are written in canonical (process id,
+    seq) order so exporting the same fleet twice is byte-identical."""
     rows = 0
     if meta:
         fh.write(json.dumps({"type": "meta", **meta}, sort_keys=True)
@@ -39,14 +44,26 @@ def export_jsonl(telemetry: Telemetry, fh: IO[str],
     fh.write(json.dumps({"type": "metrics",
                          **telemetry.metrics.snapshot(time_ns)},
                         sort_keys=True) + "\n")
-    return rows + 1
+    rows += 1
+    if health:
+        payloads = [b.to_json() if hasattr(b, "to_json") else dict(b)
+                    for b in health]
+        payloads.sort(key=lambda p: (str(p.get("process_id", "")),
+                                     int(p.get("seq", 0))))
+        for payload in payloads:
+            fh.write(json.dumps({"type": "health", **payload},
+                                sort_keys=True) + "\n")
+            rows += 1
+    return rows
 
 
 def load_jsonl(fh: IO[str]) -> Dict[str, Any]:
-    """Parse an export back into ``{"meta", "roots", "metrics"}``."""
+    """Parse an export back into ``{"meta", "roots", "metrics",
+    "health"}``."""
     meta: Dict[str, Any] = {}
     span_rows: List[Dict[str, Any]] = []
     metrics: Dict[str, Any] = {}
+    health: List[Dict[str, Any]] = []
     for line in fh:
         line = line.strip()
         if not line:
@@ -59,8 +76,10 @@ def load_jsonl(fh: IO[str]) -> Dict[str, Any]:
             span_rows.append(row)
         elif kind == "metrics":
             metrics = row
+        elif kind == "health":
+            health.append(row)
     return {"meta": meta, "roots": rebuild_tree(span_rows),
-            "metrics": metrics}
+            "metrics": metrics, "health": health}
 
 
 # ---------------------------------------------------------------------
@@ -98,7 +117,11 @@ def _render_metrics_snapshot(metrics: Dict[str, Any]) -> List[str]:
     for name, h in sorted((metrics.get("histograms") or {}).items()):
         total = h.get("total", 0)
         mean = h.get("sum", 0) / total if total else 0.0
-        out.append(f"  {name:<36s} total={total} mean={mean:.1f}")
+        line = f"  {name:<36s} total={total} mean={mean:.1f}"
+        if "p50" in h:
+            line += (f" p50={h['p50']:g} p95={h['p95']:g} "
+                     f"p99={h['p99']:g}")
+        out.append(line)
     return out
 
 
@@ -112,9 +135,11 @@ def render_report(source: Union[Telemetry, Dict[str, Any]],
     if isinstance(source, Telemetry):
         roots = source.tracer.roots
         metrics = source.metrics.snapshot()
+        health: List[Dict[str, Any]] = []
     else:
         roots = source["roots"]
         metrics = source.get("metrics") or {}
+        health = source.get("health") or []
 
     out: List[str] = [f"== {title} ==", "", "spans:"]
     if roots:
@@ -130,4 +155,11 @@ def render_report(source: Union[Telemetry, Dict[str, Any]],
     out += ["", "metrics:"]
     rendered = _render_metrics_snapshot(metrics)
     out += rendered if rendered else ["  (no instruments)"]
+
+    if health:
+        from repro.obs.health import FleetHealthAggregator
+        aggregator = FleetHealthAggregator()
+        for payload in health:
+            aggregator.add_payload(payload)
+        out += ["", aggregator.report().render()]
     return "\n".join(out)

@@ -17,6 +17,7 @@ boundaries).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Union
 
 #: Default histogram bucket upper bounds (values land in the first
@@ -61,7 +62,7 @@ class Histogram:
     slot counts everything above the top bound.
     """
 
-    __slots__ = ("name", "bounds", "counts", "total", "sum")
+    __slots__ = ("name", "bounds", "counts", "total", "sum", "max")
 
     def __init__(self, name: str,
                  bounds: Sequence[Union[int, float]] = DEFAULT_BUCKETS):
@@ -72,10 +73,13 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)
         self.total = 0
         self.sum = 0
+        self.max: Union[int, float] = 0
 
     def observe(self, value: Union[int, float]) -> None:
         self.total += 1
         self.sum += value
+        if value > self.max:
+            self.max = value
         for i, bound in enumerate(self.bounds):
             if value <= bound:
                 self.counts[i] += 1
@@ -85,6 +89,64 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> Union[int, float]:
+        """The upper bound of the bucket holding the ``q``-quantile
+        observation (the open-ended overflow bucket reports the
+        observed maximum instead).  Deterministic: derived purely from
+        the bucket counts, never from the raw sample stream.  An empty
+        histogram answers 0."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.total == 0:
+            return 0
+        # Epsilon guards float products like 0.95 * 20 == 19.000...004.
+        rank = max(1, math.ceil(q * self.total - 1e-9))
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max  # unreachable: counts sum to total
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.  Both
+        must share bucket bounds (fleet aggregation merges per-process
+        histograms published with the same layout)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"histogram bounds mismatch: {self.bounds} vs "
+                f"{other.bounds}")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum += other.sum
+        if other.max > self.max:
+            self.max = other.max
+
+    def to_snapshot(self) -> Dict[str, object]:
+        """The JSON payload :meth:`MetricsRegistry.snapshot` emits."""
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "total": self.total, "sum": self.sum, "max": self.max,
+                "p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
+
+    @classmethod
+    def from_snapshot(cls, name: str,
+                      payload: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram from its snapshot payload (derived
+        fields like p50 are recomputed, not trusted)."""
+        hist = cls(name, bounds=tuple(payload["bounds"]))  # type: ignore
+        counts = list(payload["counts"])  # type: ignore[arg-type]
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"histogram {name!r}: {len(counts)} counts for "
+                f"{len(hist.bounds)} bounds")
+        hist.counts = [int(c) for c in counts]
+        hist.total = int(payload["total"])  # type: ignore[arg-type]
+        hist.sum = payload["sum"]           # type: ignore[assignment]
+        hist.max = payload.get("max", 0)    # type: ignore[assignment]
+        return hist
 
 
 class _NullInstrument:
@@ -103,6 +165,9 @@ class _NullInstrument:
 
     def observe(self, value: Union[int, float]) -> None:
         pass
+
+    def quantile(self, q: float) -> int:
+        return 0
 
 
 NULL_INSTRUMENT = _NullInstrument()
@@ -171,10 +236,8 @@ class MetricsRegistry:
                             in sorted(self._counters.items())}
         snap["gauges"] = {name: g.value for name, g
                           in sorted(self._gauges.items())}
-        snap["histograms"] = {
-            name: {"bounds": list(h.bounds), "counts": list(h.counts),
-                   "total": h.total, "sum": h.sum}
-            for name, h in sorted(self._histograms.items())}
+        snap["histograms"] = {name: h.to_snapshot() for name, h
+                              in sorted(self._histograms.items())}
         return snap
 
     def render(self) -> str:
@@ -188,7 +251,10 @@ class MetricsRegistry:
             width = max(len(name) for name, _ in rows)
             lines += [f"  {name:<{width}}  {value}" for name, value in rows]
         for name, h in sorted(self._histograms.items()):
-            lines.append(f"  {name}  total={h.total} mean={h.mean:.1f}")
+            lines.append(f"  {name}  total={h.total} mean={h.mean:.1f} "
+                         f"p50={h.quantile(0.50):g} "
+                         f"p95={h.quantile(0.95):g} "
+                         f"p99={h.quantile(0.99):g}")
         return "\n".join(lines) if lines else "  (no instruments)"
 
 

@@ -6,6 +6,7 @@ merge-on-write, with retraction tombstones, a generation counter for
 cheap refresh, and fault injection for its failure modes.
 """
 
+from repro.store.base import SharedStateChannel
 from repro.store.faults import FaultPlan, TornWriteCrash
 from repro.store.locking import FileLock
 from repro.store.store import SharedPatchStore, StoreState
@@ -15,5 +16,6 @@ __all__ = [
     "TornWriteCrash",
     "FileLock",
     "SharedPatchStore",
+    "SharedStateChannel",
     "StoreState",
 ]

@@ -1,0 +1,175 @@
+"""Generic crash-safe shared-file channel machinery.
+
+The patch store (DESIGN.md §9) grew a careful protocol for sharing one
+JSON file between mutually distrusting processes: sidecar file locking
+with stale-lock breaking, read-modify-write merges under the lock, a
+generation counter for cheap freshness probes, atomic
+tmp+fsync+replace commits mirrored to a ``.bak``, and a
+primary→backup→empty load ladder that quarantines corruption instead
+of raising.  The fleet health plane (DESIGN.md §12) needs the exact
+same machinery for a different payload, so the machinery lives here
+and each channel supplies only its state type and merge semantics:
+
+* :meth:`SharedStateChannel._empty_state` -- the state when nothing
+  was ever committed.
+* :meth:`SharedStateChannel._parse` -- payload dict to state; must
+  raise ``ValueError`` (or KeyError/TypeError) on anything malformed,
+  which the reader turns into quarantine, never a crash.
+
+State objects must expose ``program`` (str), ``generation`` (int,
+mutable), and ``to_json()``.  Fault injection rides along: the shared
+kinds ``torn_write`` / ``stale_lock`` / ``corrupt``
+(:mod:`repro.store.faults`) are consulted at the same points for every
+channel, so the chaos harness exercises the health plane with the
+identical vocabulary that hardened the patch store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.errors import StoreError
+from repro.store.faults import FaultPlan, TornWriteCrash
+from repro.store.locking import DEFAULT_STALE_AFTER, FileLock
+
+
+class SharedStateChannel:
+    """One crash-safe shared JSON file: lock, merge, commit, recover.
+
+    ``program_name`` of None disables the ownership check (a read-only
+    consumer, e.g. the fleet CLI, that renders whatever program the
+    file belongs to)."""
+
+    def __init__(self, path: str, program_name: Optional[str],
+                 lock_timeout: float = 5.0,
+                 stale_lock_after: float = DEFAULT_STALE_AFTER,
+                 faults: Optional[FaultPlan] = None):
+        self.path = path
+        self.backup_path = path + ".bak"
+        self.program_name = program_name
+        self.faults = faults or FaultPlan()
+        self.lock = FileLock(path + ".lock", timeout=lock_timeout,
+                             stale_after=stale_lock_after)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        #: Diagnostics for tests, benchmarks, and telemetry.
+        self.commits = 0
+        self.quarantined = 0
+        self.recovered_from_backup = 0
+
+    # ------------------------------------------------------------------
+    # channel-specific hooks
+    # ------------------------------------------------------------------
+
+    def _empty_state(self):
+        raise NotImplementedError
+
+    def _parse(self, payload: dict):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def _quarantine(self, path: str) -> None:
+        """Move an unreadable file aside (never delete: the bytes are
+        evidence) and count it."""
+        for n in range(1000):
+            target = f"{path}.quarantined.{n}"
+            if not os.path.exists(target):
+                break
+        try:
+            os.replace(path, target)
+            self.quarantined += 1
+        except FileNotFoundError:
+            pass  # a concurrent reader already quarantined it
+
+    def _read_candidate(self, path: str):
+        """Parse one file; None when missing, quarantined when
+        corrupt."""
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return None
+        try:
+            state = self._parse(json.loads(raw.decode("utf-8")))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if self.program_name is not None \
+                and state.program != self.program_name:
+            raise StoreError(
+                f"shared file at {path} belongs to "
+                f"{state.program!r}, not {self.program_name!r}")
+        return state
+
+    def load(self):
+        """The current state: primary, else backup, else empty.
+        Lock-free (commits are atomic renames, so reads are always
+        consistent); corruption is quarantined, never raised."""
+        if self.faults.take("corrupt"):
+            FaultPlan.corrupt_file(self.path)
+        state = self._read_candidate(self.path)
+        if state is not None:
+            return state
+        state = self._read_candidate(self.backup_path)
+        if state is not None:
+            self.recovered_from_backup += 1
+            return state
+        return self._empty_state()
+
+    def generation(self) -> int:
+        """Cheap freshness probe for periodic refresh."""
+        return self.load().generation
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def _write_atomic(self, path: str, payload: bytes) -> None:
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _commit(self, state) -> None:
+        payload = json.dumps(state.to_json(), indent=2,
+                             sort_keys=True).encode("utf-8")
+        if self.faults.take("torn_write"):
+            # Simulate a non-atomic writer dying mid-commit: torn bytes
+            # at the primary path, the lock abandoned, the caller dead.
+            FaultPlan.tear_file(self.path, payload)
+            self.lock._abandon = True
+            raise TornWriteCrash(f"injected torn write on {self.path}")
+        self._write_atomic(self.path, payload)
+        # Mirror to the backup only after the primary commit succeeded;
+        # the backup therefore lags by at most one committed state.
+        self._write_atomic(self.backup_path, payload)
+        self.commits += 1
+
+    def _locked(self) -> FileLock:
+        if self.faults.take("stale_lock"):
+            FaultPlan.plant_stale_lock(self.lock.path)
+        return self.lock
+
+    def _mutate(self, mutator):
+        """Read-modify-write under the lock; returns the committed
+        state."""
+        with self._locked():
+            state = self.load()
+            state = mutator(state)
+            state.generation += 1
+            self._commit(state)
+        return state

@@ -162,6 +162,20 @@ class FileLock:
         except FileNotFoundError:
             pass  # broken as stale by a peer; nothing left to release
 
+    def force_break(self) -> None:
+        """Unlink the lock file regardless of age or owner.  Only for
+        callers that *know* the holder is gone -- e.g. the health
+        channel after an injected publisher crash abandoned our own
+        lock: the pid in the file is alive (it is us), so the ordinary
+        staleness rules would stall every later acquisition until
+        ``stale_after``.  A no-op while this object holds the lock."""
+        if self._held:
+            return
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
     def __enter__(self) -> "FileLock":
         self.acquire()
         return self

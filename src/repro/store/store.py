@@ -9,11 +9,13 @@ locks.  ``PatchPool.save()`` alone gives none of that: it is
 last-writer-wins, so two processes publishing interleaved silently
 erase each other's patches.
 
-:class:`SharedPatchStore` is the fix.  One JSON file per program, with:
+:class:`SharedPatchStore` is the fix.  One JSON file per program, built
+on the generic crash-safe channel machinery
+(:class:`~repro.store.base.SharedStateChannel`: sidecar file locking
+with stale-lock breaking, atomic double-written commits, corruption
+quarantine with backup fallback, generation counter, fault injection)
+plus the patch-specific merge semantics:
 
-* **File locking** (:mod:`repro.store.locking`): every mutation runs
-  under an exclusive sidecar lock with retry-with-backoff on
-  contention and stale-lock breaking for dead holders.
 * **Merge-on-write**: a mutation is read-modify-write under the lock.
   Patches union by :func:`~repro.core.patches.patch_key` identity
   (``(bug_type, point)``); colliding entries keep the max trigger
@@ -24,16 +26,6 @@ erase each other's patches.
   their next refresh instead of resurrecting it into the union.  A
   later re-publish of the same key (the bug was re-diagnosed) clears
   the tombstone.
-* **Generation counter**: every commit bumps ``generation``;
-  refreshers poll it cheaply and skip merging when nothing changed.
-* **Atomic, double-written commits**: payloads go to a temp file,
-  fsync, then ``os.replace`` -- readers see the old or the new store,
-  never a torn one.  Each commit is mirrored to ``<path>.bak`` so a
-  corrupted primary recovers from the last committed state.
-* **Corruption quarantine**: an unparsable store (torn by a crashed
-  foreign writer, bit-rotted, truncated) is renamed to
-  ``<path>.quarantined.N`` and reading falls back to the backup, then
-  to an empty store.  Corruption never raises out of the store.
 
 Fault injection (:mod:`repro.store.faults`) drives all three failure
 modes deliberately; ``benchmarks/bench_fleet_prevention.py`` gates that
@@ -42,16 +34,13 @@ injected faults lose zero validated patches.
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.patches import PatchPool, RuntimePatch
-from repro.errors import StoreError
-from repro.store.faults import FaultPlan, TornWriteCrash
-from repro.store.locking import DEFAULT_STALE_AFTER, FileLock
+from repro.store.base import SharedStateChannel
+from repro.store.faults import FaultPlan
+from repro.store.locking import DEFAULT_STALE_AFTER
 
 STORE_FORMAT = "first-aid-patch-store"
 STORE_VERSION = 1
@@ -103,131 +92,26 @@ class StoreState:
                 if p.get("validated", False)]
 
 
-class SharedPatchStore:
+class SharedPatchStore(SharedStateChannel):
     """The shared, crash-safe patch store for one program."""
 
     def __init__(self, path: str, program_name: str,
                  lock_timeout: float = 5.0,
                  stale_lock_after: float = DEFAULT_STALE_AFTER,
                  faults: Optional[FaultPlan] = None):
-        self.path = path
-        self.backup_path = path + ".bak"
-        self.program_name = program_name
-        self.faults = faults or FaultPlan()
-        self.lock = FileLock(path + ".lock", timeout=lock_timeout,
-                             stale_after=stale_lock_after)
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
+        super().__init__(path, program_name,
+                         lock_timeout=lock_timeout,
+                         stale_lock_after=stale_lock_after,
+                         faults=faults)
         #: Diagnostics for tests, the fleet benchmark, and telemetry.
         self.publishes = 0
         self.retractions = 0
-        self.commits = 0
-        self.quarantined = 0
-        self.recovered_from_backup = 0
 
-    # ------------------------------------------------------------------
-    # reading
-    # ------------------------------------------------------------------
+    def _empty_state(self) -> StoreState:
+        return StoreState(self.program_name or "")
 
-    def _quarantine(self, path: str) -> None:
-        """Move an unreadable store file aside (never delete: the bytes
-        are evidence) and count it."""
-        for n in range(1000):
-            target = f"{path}.quarantined.{n}"
-            if not os.path.exists(target):
-                break
-        try:
-            os.replace(path, target)
-            self.quarantined += 1
-        except FileNotFoundError:
-            pass  # a concurrent reader already quarantined it
-
-    def _read_candidate(self, path: str) -> Optional[StoreState]:
-        """Parse one store file; None when missing, quarantined when
-        corrupt."""
-        try:
-            with open(path, "rb") as handle:
-                raw = handle.read()
-        except FileNotFoundError:
-            return None
-        try:
-            state = StoreState.from_json(
-                json.loads(raw.decode("utf-8")))
-        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
-            self._quarantine(path)
-            return None
-        if state.program != self.program_name:
-            raise StoreError(
-                f"patch store at {path} belongs to "
-                f"{state.program!r}, not {self.program_name!r}")
-        return state
-
-    def load(self) -> StoreState:
-        """The current store state: primary, else backup, else empty.
-        Lock-free (commits are atomic renames, so reads are always
-        consistent); corruption is quarantined, never raised."""
-        if self.faults.take("corrupt"):
-            FaultPlan.corrupt_file(self.path)
-        state = self._read_candidate(self.path)
-        if state is not None:
-            return state
-        state = self._read_candidate(self.backup_path)
-        if state is not None:
-            self.recovered_from_backup += 1
-            return state
-        return StoreState(self.program_name)
-
-    def generation(self) -> int:
-        """Cheap freshness probe for periodic refresh."""
-        return self.load().generation
-
-    # ------------------------------------------------------------------
-    # writing
-    # ------------------------------------------------------------------
-
-    def _write_atomic(self, path: str, payload: bytes) -> None:
-        directory = os.path.dirname(os.path.abspath(path))
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-
-    def _commit(self, state: StoreState) -> None:
-        payload = json.dumps(state.to_json(), indent=2,
-                             sort_keys=True).encode("utf-8")
-        if self.faults.take("torn_write"):
-            # Simulate a non-atomic writer dying mid-commit: torn bytes
-            # at the primary path, the lock abandoned, the caller dead.
-            FaultPlan.tear_file(self.path, payload)
-            self.lock._abandon = True
-            raise TornWriteCrash(f"injected torn write on {self.path}")
-        self._write_atomic(self.path, payload)
-        # Mirror to the backup only after the primary commit succeeded;
-        # the backup therefore lags by at most one committed state.
-        self._write_atomic(self.backup_path, payload)
-        self.commits += 1
-
-    def _locked(self) -> FileLock:
-        if self.faults.take("stale_lock"):
-            FaultPlan.plant_stale_lock(self.lock.path)
-        return self.lock
-
-    def _mutate(self, mutator) -> StoreState:
-        """Read-modify-write under the lock; returns the committed
-        state."""
-        with self._locked():
-            state = self.load()
-            state = mutator(state)
-            state.generation += 1
-            self._commit(state)
-        return state
+    def _parse(self, payload: dict) -> StoreState:
+        return StoreState.from_json(payload)
 
     # ------------------------------------------------------------------
     # the protocol: publish / retract / refresh

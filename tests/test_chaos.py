@@ -173,3 +173,53 @@ class TestRuntimeInjection:
         assert len(runtime.pool) == 0
         assert any(e.kind == "chaos.validation_flaky"
                    for e in runtime.events)
+
+
+class TestHealthBeaconFaults:
+    """Health-channel chaos: corrupt/torn/stale beacons must degrade
+    to health.error events, never touch recovery, and still leave the
+    session visible in the fleet report."""
+
+    def test_health_fault_plan_shares_the_protocol(self):
+        from repro.obs.health import HealthFaultPlan
+        plan = HealthFaultPlan()
+        plan.arm("stale_beacon", 2)
+        assert plan.take("stale_beacon")
+        assert plan.take("stale_beacon")
+        assert not plan.take("stale_beacon")
+        assert plan.fired["stale_beacon"] == 2
+        with pytest.raises(ValueError):
+            plan.arm("probe_raise")  # a chaos kind, not a health kind
+
+    def test_session_survives_health_faults_and_stays_visible(
+            self, tmp_path):
+        from repro.chaos.storm import run_chaos_session
+        digest = run_chaos_session(
+            "bc", {"validation_flaky": 1},
+            store_path=str(tmp_path / "store.json"),
+            process_label="chaos-0",
+            health_arm={"torn_write": 1, "corrupt": 1,
+                        "stale_beacon": 1})
+        assert digest.unhandled is None
+        assert digest.survived
+        assert digest.health_errors >= 1     # the faults degraded...
+        assert digest.beacon_visible is True  # ...but never blinded us
+
+    def test_corrupt_health_file_never_reaches_recovery(self, tmp_path):
+        from repro.obs.health import HealthFaultPlan, aggregate_store
+        store = str(tmp_path / "store.json")
+        plan = HealthFaultPlan()
+        plan.arm("corrupt", 3)
+        program = compile_program(OVERFLOW_SERVER, "hchaos")
+        runtime = FirstAidRuntime(
+            program, input_tokens=overflow_workload(1),
+            config=small_config(store_path=store,
+                                process_label="h-0",
+                                health_faults=plan))
+        session = runtime.run()
+        runtime.close()
+        assert session.reason == "halt"
+        assert session.survived_all
+        report = aggregate_store(store)
+        assert [r["process_id"] for r in report.processes] == ["h-0"]
+        assert report.processes[0]["failures"] == 1

@@ -88,3 +88,66 @@ def test_render_lists_all_instruments():
     assert "heap.bytes" in text
     assert "alloc.size" in text and "total=1" in text
     assert MetricsRegistry().render() == "  (no instruments)"
+
+
+def test_histogram_quantiles():
+    h = Histogram("h", bounds=(10, 100, 1000))
+    for v in (1, 5, 50, 200, 900, 5000):
+        h.observe(v)
+    # cumulative: <=10 -> 2, <=100 -> 3, <=1000 -> 5, overflow -> 6
+    assert h.quantile(0.0) == 10
+    assert h.quantile(0.5) == 100
+    assert h.quantile(0.75) == 1000
+    assert h.quantile(1.0) == 5000    # overflow bucket reports the max
+    assert h.max == 5000
+
+
+def test_histogram_quantile_empty_and_bad_q():
+    h = Histogram("h", bounds=(10,))
+    assert h.quantile(0.5) == 0       # empty histogram: no data, 0
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+    with pytest.raises(ValueError):
+        h.quantile(1.1)
+
+
+def test_histogram_quantile_exact_rank_boundaries():
+    h = Histogram("h", bounds=(1, 2, 3, 4))
+    for v in (1, 2, 3, 4):
+        for _ in range(5):
+            h.observe(v)
+    # 20 observations; 0.95 * 20 == 19 exactly (float fuzz must not
+    # push the rank into the next bucket).
+    assert h.quantile(0.95) == 4
+    assert h.quantile(0.25) == 1
+    assert h.quantile(0.75) == 3
+
+
+def test_histogram_merge_and_snapshot_round_trip():
+    a = Histogram("h", bounds=(10, 100))
+    b = Histogram("h", bounds=(10, 100))
+    for v in (5, 50):
+        a.observe(v)
+    for v in (500, 7):
+        b.observe(v)
+    a.merge_from(b)
+    assert a.total == 4
+    assert a.max == 500
+    snap = a.to_snapshot()
+    assert snap["p50"] == 10
+    again = Histogram.from_snapshot("h", snap)
+    assert again.to_snapshot() == snap
+    with pytest.raises(ValueError):
+        a.merge_from(Histogram("h", bounds=(1, 2)))
+
+
+def test_snapshot_and_render_report_percentiles():
+    registry = MetricsRegistry()
+    h = registry.histogram("lat", bounds=(10, 100))
+    for v in (5, 50, 500):
+        h.observe(v)
+    snap = registry.snapshot()["histograms"]["lat"]
+    assert snap["p50"] == 100
+    assert snap["p99"] == 500
+    text = registry.render()
+    assert "p50=100" in text and "p99=500" in text

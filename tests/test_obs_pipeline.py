@@ -229,3 +229,82 @@ def test_cli_runs_demo_exports_and_renders(tmp_path, capsys):
     assert main(["--render", path]) == 0
     out = capsys.readouterr().out
     assert "spans:" in out and "recovery" in out
+
+
+# ---------------------------------------------------------------------
+# health rows in the export (property-based)
+# ---------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.health import HealthBeacon
+from repro.obs.telemetry import Telemetry
+
+_counts = st.integers(min_value=0, max_value=50)
+_patch_entries = st.dictionaries(
+    st.text(alphabet="abckxyz@+;", min_size=1, max_size=12),
+    st.fixed_dictionaries({
+        "triggers": _counts,
+        "validated": st.booleans(),
+        "created_time_ns": st.integers(min_value=0,
+                                       max_value=10**12),
+        "diagnosed": st.integers(min_value=0, max_value=5),
+    }),
+    max_size=3)
+_beacons = st.builds(
+    HealthBeacon,
+    process_id=st.sampled_from(
+        ["leader-0", "follower-1", "follower-2", "follower-3"]),
+    app=st.just("prop-app"),
+    seq=st.integers(min_value=1, max_value=100),
+    time_ns=st.integers(min_value=0, max_value=10**12),
+    reason=st.sampled_from(["running", "halt", "input", "died"]),
+    failures=_counts, recovered=_counts, gave_up=_counts,
+    restarts=_counts, retractions=_counts,
+    rung_counts=st.dictionaries(
+        st.sampled_from(["1", "2", "3", "4"]), _counts, max_size=4),
+    patches=_patch_entries)
+
+
+@settings(max_examples=40, deadline=None)
+@given(beacons=st.lists(_beacons, max_size=6))
+def test_health_export_round_trip_rerenders_byte_identical(beacons):
+    """export -> load -> export again and render twice: both the JSONL
+    bytes and the rendered report must be stable, whatever fleet the
+    beacons describe."""
+    telemetry = Telemetry(enabled=False)
+    a = io.StringIO()
+    export_jsonl(telemetry, a, meta={"program": "prop-app"},
+                 health=beacons)
+    loaded = load_jsonl(io.StringIO(a.getvalue()))
+    assert len(loaded["health"]) == len(beacons)
+    b = io.StringIO()
+    export_jsonl(telemetry, b, meta={"program": "prop-app"},
+                 health=loaded["health"])
+    assert a.getvalue() == b.getvalue()
+    assert (render_report(loaded, title="t")
+            == render_report(load_jsonl(io.StringIO(b.getvalue())),
+                             title="t"))
+
+
+def test_export_health_rows_from_live_channel(tmp_path):
+    from repro.obs.health import HealthChannel
+
+    channel = HealthChannel(str(tmp_path / "h"), "srv")
+    channel.publish(HealthBeacon(process_id="p-1", app="srv", seq=1,
+                                 time_ns=100, failures=1))
+    channel.publish(HealthBeacon(process_id="p-0", app="srv", seq=2,
+                                 time_ns=200))
+    telemetry = Telemetry(enabled=False)
+    out = io.StringIO()
+    export_jsonl(telemetry, out,
+                 health=list(channel.load().live_beacons().values()))
+    rows = [json.loads(line) for line in
+            io.StringIO(out.getvalue())]
+    health_rows = [r for r in rows if r["type"] == "health"]
+    # canonical (process_id, seq) order regardless of publish order
+    assert [r["process_id"] for r in health_rows] == ["p-0", "p-1"]
+    loaded = load_jsonl(io.StringIO(out.getvalue()))
+    text = render_report(loaded, title="t")
+    assert "fleet health: srv" in text
+    assert "p-1" in text
