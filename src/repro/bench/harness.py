@@ -208,6 +208,16 @@ class SessionDigest:
     clock_ns: int = 0
     wall_s: float = 0.0
     worker_failures: int = 0
+    # -- search policy (repro.search).  Probe counts are excluded from
+    #    both keys: the whole point of pruned/bandit search is doing
+    #    less work for the same diagnosis. --
+    search_policy: str = "fixed"
+    checkpoints: Tuple[Optional[int], ...] = ()
+    evidence: Tuple[Tuple[str, ...], ...] = ()
+    probes_executed: Tuple[int, ...] = ()
+    probes_consumed: Tuple[int, ...] = ()
+    probes_pruned: Tuple[int, ...] = ()
+    arms_pruned: Tuple[int, ...] = ()
 
     def equivalence_key(self) -> Tuple:
         return (self.app, self.reason, self.recoveries, self.succeeded,
@@ -215,12 +225,25 @@ class SessionDigest:
                 self.patch_points, self.validation_consistent,
                 self.validation_reasons, self.reports, self.rungs)
 
+    def diagnosis_key(self) -> Tuple:
+        """The diagnosis content that must be byte-identical across
+        *search policies* (fixed/pruned/bandit): verdicts, bug types,
+        chosen checkpoints, full evidence (sites and details), patch
+        points, validation outcomes.  Excludes rollback/probe counts
+        and the report text (which narrates the probes themselves)."""
+        return (self.app, self.reason, self.recoveries, self.succeeded,
+                self.verdicts, self.bug_types, self.checkpoints,
+                self.evidence, self.patch_points,
+                self.validation_consistent, self.validation_reasons,
+                self.rungs)
+
 
 def run_app_session(app_name: str, triggers: int = 2,
                     workers: int = 1,
                     telemetry: bool = False,
                     supervisor: bool = True,
-                    vm_tier: str = "reference") -> SessionDigest:
+                    vm_tier: str = "reference",
+                    search_policy: str = "fixed") -> SessionDigest:
     """Run one app under First-Aid and digest the session.  Top-level
     (and addressed by app *name*) so the call itself can ship to a
     worker process when benchmark sessions fan out."""
@@ -229,7 +252,8 @@ def run_app_session(app_name: str, triggers: int = 2,
     app = {a.name: a for a in all_apps()}[app_name]
     wl = spaced_workload(app, triggers)
     config = FirstAidConfig(workers=workers, telemetry=telemetry,
-                            supervisor=supervisor, vm_tier=vm_tier)
+                            supervisor=supervisor, vm_tier=vm_tier,
+                            search_policy=search_policy)
     started = _time.perf_counter()
     runtime, session, _ = run_first_aid(app, wl, config=config)
     wall = _time.perf_counter() - started
@@ -260,6 +284,22 @@ def run_app_session(app_name: str, triggers: int = 2,
             r.report.render(redact_times=True) if r.report else None
             for r in recs),
         rungs=tuple(r.rung for r in recs),
+        search_policy=search_policy,
+        checkpoints=tuple(
+            r.diagnosis.checkpoint.index
+            if r.diagnosis and r.diagnosis.checkpoint else None
+            for r in recs),
+        evidence=tuple(_evidence_digest(r.diagnosis) for r in recs),
+        probes_executed=tuple(_search_stat(r.diagnosis,
+                                           "probes_executed")
+                              for r in recs),
+        probes_consumed=tuple(_search_stat(r.diagnosis,
+                                           "probes_consumed")
+                              for r in recs),
+        probes_pruned=tuple(_search_stat(r.diagnosis, "probes_pruned")
+                            for r in recs),
+        arms_pruned=tuple(_search_stat(r.diagnosis, "arms_pruned")
+                          for r in recs),
         recovery_time_ns=tuple(r.recovery_time_ns for r in recs),
         validation_time_ns=tuple(
             r.validation.time_ns if r.validation else 0 for r in recs),
@@ -273,6 +313,25 @@ def run_app_session(app_name: str, triggers: int = 2,
     )
     runtime.close()
     return digest
+
+
+def _evidence_digest(diagnosis) -> Tuple[str, ...]:
+    """Byte-comparable rendering of one diagnosis' evidence, in bug
+    identification order."""
+    if diagnosis is None:
+        return ()
+    out = []
+    for bug_type in diagnosis.bug_types:
+        ev = diagnosis.evidence[bug_type]
+        sites = ";".join(site.render() for site in ev.sites)
+        out.append(f"{bug_type.value}|{sites}|{';'.join(ev.details)}")
+    return tuple(out)
+
+
+def _search_stat(diagnosis, key: str) -> int:
+    if diagnosis is None or not diagnosis.search_info:
+        return 0
+    return diagnosis.search_info.get(key, 0)
 
 
 def _session_task(spec: Tuple[str, int, int]) -> SessionDigest:

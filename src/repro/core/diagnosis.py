@@ -69,6 +69,10 @@ from repro.util.events import EventLog
 from repro.vm.machine import RunReason, RunResult
 
 
+#: gauge encoding for the ``diagnosis.search_policy`` metric
+_POLICY_CODES = {"fixed": 0, "pruned": 1, "bandit": 2}
+
+
 class Verdict(Enum):
     PATCHED = "patched"
     NONDETERMINISTIC = "nondeterministic"
@@ -96,6 +100,11 @@ class Diagnosis:
     rollbacks: int = 0
     notes: List[str] = field(default_factory=list)
     failure: Optional[FailureEvent] = None
+    #: search-policy accounting for this diagnosis (DESIGN.md §13):
+    #: policy name, probes executed (incl. discarded speculation),
+    #: probes consumed (the serial decision path), probes statically
+    #: pruned, and call-site arms dropped before the binary search.
+    search_info: Optional[Dict] = None
 
 
 @dataclass
@@ -177,6 +186,8 @@ class _TaskBatch:
                 self._tasks[0].raise_marker = True
             if engine.chaos.take("probe_hang"):
                 self._tasks[0].hang_marker = True
+        engine._probes_executed += len(self._tasks)
+        engine._m_probes_total.inc(len(self._tasks))
         self._handle = engine.executor.submit(self._tasks)
         workers = max(1, engine.executor.workers)
         self._lanes_rb = [0] * workers
@@ -194,6 +205,8 @@ class _TaskBatch:
         engine._rollbacks += 1
         engine._m_iterations.inc()
         engine._m_rollbacks.inc()
+        engine._probes_consumed += 1
+        engine._m_probes_consumed.inc()
         lane = self._consumed % len(self._lanes_rb)
         self._consumed += 1
         self._lanes_rb[lane] += engine.process.costs.restore_base_ns
@@ -244,7 +257,8 @@ class DiagnosticEngine:
                  site_search: str = "binary",
                  telemetry: Optional[Telemetry] = None,
                  executor=None,
-                 chaos=None):
+                 chaos=None,
+                 search=None):
         if site_search not in ("binary", "linear"):
             raise ValueError(f"site_search must be 'binary' or "
                              f"'linear', not {site_search!r}")
@@ -257,6 +271,18 @@ class DiagnosticEngine:
             self.telemetry.metrics.counter("diagnosis.iterations")
         self._m_rollbacks = \
             self.telemetry.metrics.counter("diagnosis.rollbacks")
+        self._m_probes_total = \
+            self.telemetry.metrics.counter("diagnosis.probes_total")
+        self._m_probes_consumed = \
+            self.telemetry.metrics.counter("diagnosis.probes_consumed")
+        self._m_probes_pruned = \
+            self.telemetry.metrics.counter("diagnosis.probes_pruned")
+        self._m_arms_pruned = \
+            self.telemetry.metrics.counter("diagnosis.arms_pruned")
+        self._m_pruner_fallback = \
+            self.telemetry.metrics.counter("diagnosis.pruner_fallback")
+        self._m_policy = \
+            self.telemetry.metrics.gauge("diagnosis.search_policy")
         self.max_checkpoint_search = max_checkpoint_search
         self.window_intervals = window_intervals
         self.max_rollbacks = max_rollbacks
@@ -271,7 +297,20 @@ class DiagnosticEngine:
         #: Optional :class:`~repro.chaos.ChaosPlan`; consulted once per
         #: probe, never per instruction.
         self.chaos = chaos
+        #: :class:`~repro.search.state.SearchState` -- search policy,
+        #: cached static facts, bandit arms.  The default is the fixed
+        #: (legacy) schedule.  Imported lazily: repro.core's package
+        #: init pulls in this module, and repro.search depends on
+        #: repro.core.bugtypes.
+        if search is None:
+            from repro.search.state import SearchState
+            search = SearchState()
+        self.search = search
         self._rollbacks = 0
+        self._probes_executed = 0
+        self._probes_consumed = 0
+        self._probes_pruned = 0
+        self._arms_pruned = 0
         self._entropy_salt = 1000
         #: encoded snapshots per checkpoint index -- probes from the
         #: same checkpoint reuse the materialization.
@@ -282,9 +321,27 @@ class DiagnosticEngine:
     # ------------------------------------------------------------------
 
     def diagnose(self, failure: FailureEvent) -> Diagnosis:
+        self._probes_executed = 0
+        self._probes_consumed = 0
+        self._probes_pruned = 0
+        self._arms_pruned = 0
+        self._m_policy.set(_POLICY_CODES[self.search.policy])
         with self.telemetry.span("diagnosis") as span:
             diag = self._diagnose(failure)
-            span.set(verdict=diag.verdict.value, rollbacks=diag.rollbacks)
+            diag.search_info = {
+                "policy": self.search.policy,
+                "probes_executed": self._probes_executed,
+                "probes_consumed": self._probes_consumed,
+                "probes_pruned": self._probes_pruned,
+                "arms_pruned": self._arms_pruned,
+            }
+            span.set(verdict=diag.verdict.value,
+                     rollbacks=diag.rollbacks,
+                     search_policy=self.search.policy,
+                     probes_executed=self._probes_executed,
+                     probes_consumed=self._probes_consumed,
+                     probes_pruned=self._probes_pruned,
+                     arms_pruned=self._arms_pruned)
             return diag
 
     def _diagnose(self, failure: FailureEvent) -> Diagnosis:
@@ -300,44 +357,90 @@ class DiagnosticEngine:
             diag.notes.append("no checkpoints available")
             return diag
 
+        # Static facts gate every pruning decision.  ``static_ok``
+        # additionally requires the program to be statically
+        # deterministic (no reachable RAND): then probe outcomes are
+        # pure functions of (checkpoint, policy), so skipping a probe
+        # whose outcome is statically forced cannot perturb any later
+        # probe through the entropy-salt ledger.
+        facts = self.search.facts_for(self.process.program)
+        static_ok = facts is not None and facts.deterministic
+
         # Phase 1a: plain re-execution from the latest checkpoint.
-        outcome = self._reexecute(candidates[0], DiagnosticPolicy(),
-                                  window_end)
-        if outcome.passed:
-            diag.verdict = Verdict.NONDETERMINISTIC
-            diag.rollbacks = self._rollbacks
-            diag.notes.append(
-                "plain re-execution passed the failure region; "
-                "failure attributed to a nondeterministic bug")
-            self._log_done(diag)
-            return diag
+        # With an empty patch pool the production run *was* the plain
+        # policy over the same journal, so for a deterministic program
+        # this probe must reproduce the failure -- skip it.
+        if static_ok and len(self.pool) == 0:
+            self._note_pruned(
+                diag, "1a", "deterministic program with empty patch "
+                "pool: plain re-execution must reproduce the failure")
+        else:
+            outcome = self._reexecute(candidates[0], DiagnosticPolicy(),
+                                      window_end)
+            if outcome.passed:
+                diag.verdict = Verdict.NONDETERMINISTIC
+                diag.rollbacks = self._rollbacks
+                diag.notes.append(
+                    "plain re-execution passed the failure region; "
+                    "failure attributed to a nondeterministic bug")
+                self._log_done(diag)
+                return diag
 
         # Phase 1b: all-preventive probes, newest checkpoint first,
         # with heap marking to expose pre-checkpoint bug triggers.
         # Probes from different checkpoints are independent, so the
-        # whole walk dispatches as one (speculative) batch; the serial
-        # early-break simply leaves the rest of the batch unconsumed.
+        # whole walk dispatches speculatively; the serial early-break
+        # simply leaves the rest of the batch unconsumed.  Under the
+        # bandit policy the walk is split into waves sized from the
+        # observed depth history instead of one full-width batch --
+        # consumption order and salts are unchanged (wave k+1's batch
+        # base is exactly the salt wave k's last consume set), so this
+        # shapes speculation cost only.
         chosen: Optional[Checkpoint] = None
-        batch = self._dispatch(
-            [_ProbeReq(cp, _all_preventive(), i + 1,
-                       mark=self.use_heap_marking)
-             for i, cp in enumerate(candidates)],
-            window_end)
-        try:
-            for i, checkpoint in enumerate(candidates):
-                if self._rollbacks >= self.max_rollbacks:
-                    break
-                outcome = batch.consume(i)
-                if outcome.passed and not outcome.mark_corruptions:
-                    chosen = checkpoint
-                    break
-                if outcome.mark_corruptions:
-                    diag.notes.append(
-                        f"checkpoint #{checkpoint.index}: heap marking "
-                        f"exposed {len(outcome.mark_corruptions)} "
-                        f"pre-checkpoint corruption(s); trying earlier")
-        finally:
-            batch.finish()
+        bandit = (self.search.bandit
+                  if self.search.speculates and self.executor is not None
+                  and self.executor.workers > 1 else None)
+        if bandit is not None:
+            waves = bandit.plan_walk_waves(len(candidates),
+                                           self.executor.workers)
+        else:
+            waves = [len(candidates)]
+        pos = 0
+        consumed_depth = 0
+        waves_used = 0
+        budget_hit = False
+        for width in waves:
+            wave = candidates[pos:pos + width]
+            batch = self._dispatch(
+                [_ProbeReq(cp, _all_preventive(), j + 1,
+                           mark=self.use_heap_marking)
+                 for j, cp in enumerate(wave)],
+                window_end)
+            waves_used += 1
+            try:
+                for j, checkpoint in enumerate(wave):
+                    if self._rollbacks >= self.max_rollbacks:
+                        budget_hit = True
+                        break
+                    outcome = batch.consume(j)
+                    consumed_depth = pos + j + 1
+                    if outcome.passed and not outcome.mark_corruptions:
+                        chosen = checkpoint
+                        break
+                    if outcome.mark_corruptions:
+                        diag.notes.append(
+                            f"checkpoint #{checkpoint.index}: heap "
+                            f"marking exposed "
+                            f"{len(outcome.mark_corruptions)} "
+                            f"pre-checkpoint corruption(s); trying "
+                            f"earlier")
+            finally:
+                batch.finish()
+            pos += width
+            if chosen is not None or budget_hit:
+                break
+        if bandit is not None:
+            bandit.observe_walk(consumed_depth, waves_used - 1)
         if chosen is None:
             diag.rollbacks = self._rollbacks
             diag.notes.append(
@@ -353,21 +456,41 @@ class DiagnosticEngine:
         # Phase 2: identify bug types group by group.  Each probe uses
         # exposing changes for its group and preventive changes for the
         # fixed complement, so the probes are mutually independent and
-        # dispatch as one batch.
+        # dispatch as one batch.  Groups whose every member the static
+        # mask rules out are skipped: their probe differs from the
+        # all-preventive probe (which just passed from this checkpoint)
+        # only in fill/canary content no reachable instruction can
+        # observe, so it would pass and identify nothing.  Each skip
+        # bumps the salt ledger by one, exactly as consuming the probe
+        # would have, keeping later salts identical to the fixed
+        # schedule's.
         identified: List[BugType] = []
-        batch = self._dispatch(
-            [_ProbeReq(chosen, self._group_policy(group), i + 1)
-             for i, group in enumerate(CHANGE_GROUPS)],
-            window_end)
+        plan: List[Tuple[Sequence[BugType], Optional[int]]] = []
+        reqs: List[_ProbeReq] = []
+        for i, group in enumerate(CHANGE_GROUPS):
+            if static_ok and not facts.group_feasible(group):
+                plan.append((group, None))
+            else:
+                plan.append((group, len(reqs)))
+                reqs.append(_ProbeReq(chosen, self._group_policy(group),
+                                      i + 1))
+        batch = self._dispatch(reqs, window_end) if reqs else None
         try:
-            for i, group in enumerate(CHANGE_GROUPS):
+            for group, probe_index in plan:
+                if probe_index is None:
+                    self._note_pruned(
+                        diag, "2-group",
+                        "statically infeasible group: "
+                        + "/".join(b.value for b in group))
+                    continue
                 if self._rollbacks >= self.max_rollbacks:
                     break
-                outcome = batch.consume(i)
+                outcome = batch.consume(probe_index)
                 identified.extend(
                     self._interpret_group(group, outcome, diag))
         finally:
-            batch.finish()
+            if batch is not None:
+                batch.finish()
 
         if not identified:
             diag.rollbacks = self._rollbacks
@@ -379,13 +502,32 @@ class DiagnosticEngine:
         diag.bug_types = identified
 
         # Phase 2b: call-sites for read-type bugs via binary search.
+        # The static pruner drops arms whose exposure no read can
+        # observe (canary fill at allocation / at free): the bisection
+        # then runs over the kept subset, with a one-probe fallback
+        # valve over the full universe inside ``_binary_search_sites``
+        # guarding against analysis bugs.
         for bug_type in identified:
             evidence = diag.evidence[bug_type]
             if bug_type.identified_directly:
                 continue
             universe = self._universe_for(bug_type, chosen, window_end)
+            kept = universe
+            if static_ok:
+                kept = [site for site in universe
+                        if facts.site_relevant(bug_type, site)]
+                dropped = len(universe) - len(kept)
+                if dropped:
+                    self._arms_pruned += dropped
+                    self._m_arms_pruned.inc(dropped)
+                    self.events.emit(
+                        self.process.clock.now_ns,
+                        "diagnosis.arms_pruned",
+                        bug_type=bug_type.value, dropped=dropped,
+                        universe=len(universe))
             sites = self._binary_search_sites(
-                chosen, bug_type, universe, window_end, identified)
+                chosen, bug_type, kept, window_end, identified,
+                full_universe=universe)
             evidence.sites = sites
             evidence.details.append(
                 f"binary search over {len(universe)} call-sites")
@@ -405,6 +547,20 @@ class DiagnosticEngine:
         diag.rollbacks = self._rollbacks
         self._log_done(diag)
         return diag
+
+    def _note_pruned(self, diag: Diagnosis, phase: str,
+                     reason: str) -> None:
+        """Account for a probe whose outcome the static analysis
+        forced.  The salt ledger advances by one exactly as consuming
+        the probe would have, so every later probe sees the same salt
+        under any policy."""
+        self._entropy_salt += 1
+        self._probes_pruned += 1
+        self._m_probes_pruned.inc()
+        diag.notes.append(f"probe pruned ({phase}): {reason}")
+        self.events.emit(self.process.clock.now_ns,
+                         "diagnosis.probe_pruned",
+                         phase=phase, reason=reason)
 
     def _log_done(self, diag: Diagnosis) -> None:
         self.events.emit(
@@ -445,6 +601,10 @@ class DiagnosticEngine:
             self._rollbacks += 1
             self._m_iterations.inc()
             self._m_rollbacks.inc()
+            self._probes_executed += 1
+            self._probes_consumed += 1
+            self._m_probes_total.inc()
+            self._m_probes_consumed.inc()
             self._entropy_salt += 1
             process.reseed_entropy(self._entropy_salt)
             marking: Optional[HeapMarking] = None
@@ -644,20 +804,52 @@ class DiagnosticEngine:
     def _binary_search_sites(self, checkpoint: Checkpoint,
                              bug_type: BugType,
                              universe: List[CallSite], window_end: int,
-                             all_types: Sequence[BugType]) \
-            -> List[CallSite]:
+                             all_types: Sequence[BugType],
+                             full_universe: Optional[List[CallSite]]
+                             = None) -> List[CallSite]:
         identified: List[CallSite] = []
         remaining = list(universe)
-        while remaining and self._rollbacks < self.max_rollbacks:
+        full = (list(full_universe) if full_universe is not None
+                else list(universe))
+        #: the pruner dropped arms: before accepting "no more bug
+        #: sites", one extra probe over the full universe either proves
+        #: the drop was justified or -- under an analysis bug -- puts
+        #: the dropped arms back.  At most one valve probe per search.
+        valve_open = len(remaining) < len(full)
+        while self._rollbacks < self.max_rollbacks:
             # Round check: expose everything still unidentified.  This
             # probe gates the next round, so it cannot overlap with it;
             # it runs as a batch of one.
-            outcome = self._probe_one(
-                checkpoint,
-                self._search_policy(bug_type, remaining, all_types),
-                window_end)
-            if outcome.passed:
-                break  # all bug sites found
+            if remaining:
+                outcome = self._probe_one(
+                    checkpoint,
+                    self._search_policy(bug_type, remaining, all_types),
+                    window_end)
+                exhausted = outcome.passed
+            else:
+                exhausted = True
+            if exhausted:
+                if not valve_open:
+                    break  # all bug sites found
+                valve_open = False
+                rest = [site for site in full
+                        if site not in identified]
+                if not rest:
+                    break
+                outcome = self._probe_one(
+                    checkpoint,
+                    self._search_policy(bug_type, rest, all_types),
+                    window_end)
+                if outcome.passed:
+                    break  # pruned arms confirmed boring
+                self._m_pruner_fallback.inc()
+                self.events.emit(
+                    self.process.clock.now_ns,
+                    "diagnosis.pruner_fallback",
+                    bug_type=bug_type.value,
+                    restored=len(rest) - len(remaining))
+                remaining = rest
+                continue
             if self.site_search == "binary":
                 site = self._bisect_round(checkpoint, bug_type,
                                           remaining, all_types,
@@ -699,28 +891,50 @@ class DiagnosticEngine:
         """Speculative halving across workers.
 
         Each bisect probe depends on the previous answer, so the round
-        cannot batch linearly; instead it dispatches a breadth-first
-        slice of the *decision tree* (up to ``workers`` nodes, each
-        node probing the first half of its candidate range) and then
-        walks the serial decision path through the precomputed results.
-        Tree nodes at the same depth share a salt offset -- serial
-        execution would give the depth-d probe salt base+d+1 whichever
-        branch it took -- so the consumed path reproduces the serial
-        salt sequence exactly and the unvisited branches are discarded
-        speculation.
+        cannot batch linearly; instead it dispatches a slice of the
+        *decision tree* (up to ``workers`` nodes, each node probing the
+        first half of its candidate range) and then walks the serial
+        decision path through the precomputed results.  Tree nodes at
+        the same depth share a salt offset -- serial execution would
+        give the depth-d probe salt base+d+1 whichever branch it took
+        -- so the consumed path reproduces the serial salt sequence
+        exactly and the unvisited branches are discarded speculation.
+
+        The fixed schedule's slice is the breadth-first frontier
+        (resolving ~log2(fanout) levels per dispatch).  Under the
+        bandit policy the slice is instead the UCB1-*predicted*
+        root-to-leaf path (resolving up to ``fanout`` levels per
+        dispatch when predictions hold); a misprediction just falls
+        off the slice and redispatches from the surviving node --
+        identical consumed decisions either way, latency-only regret.
         """
         candidates = tuple(remaining)
         fanout = max(2, self.executor.workers)
+        bandit = self.search.bandit if self.search.speculates else None
+        base_depth = 0
         while len(candidates) > 1:
             nodes: List[Tuple[int, tuple]] = []
-            queue: List[Tuple[int, tuple]] = [(0, candidates)]
-            while queue and len(nodes) < fanout:
-                depth, cand = queue.pop(0)
-                if len(cand) <= 1:
-                    continue
-                nodes.append((depth, cand))
-                queue.append((depth + 1, cand[:len(cand) // 2]))
-                queue.append((depth + 1, cand[len(cand) // 2:]))
+            preds: Dict[tuple, bool] = {}
+            if bandit is not None:
+                node = candidates
+                d = 0
+                while len(node) > 1 and len(nodes) < fanout:
+                    nodes.append((d, node))
+                    first = bandit.predict_first_half_fails(
+                        bug_type, base_depth + d)
+                    preds[node] = first
+                    node = (node[:len(node) // 2] if first
+                            else node[len(node) // 2:])
+                    d += 1
+            else:
+                queue: List[Tuple[int, tuple]] = [(0, candidates)]
+                while queue and len(nodes) < fanout:
+                    depth, cand = queue.pop(0)
+                    if len(cand) <= 1:
+                        continue
+                    nodes.append((depth, cand))
+                    queue.append((depth + 1, cand[:len(cand) // 2]))
+                    queue.append((depth + 1, cand[len(cand) // 2:]))
             reqs = [
                 _ProbeReq(checkpoint,
                           self._search_policy(
@@ -730,17 +944,25 @@ class DiagnosticEngine:
                 for depth, cand in nodes]
             index = {cand: i for i, (_, cand) in enumerate(nodes)}
             batch = self._dispatch(reqs, window_end)
+            consumed_here = 0
             try:
                 node = candidates
                 while len(node) > 1 and node in index:
                     if self._rollbacks >= self.max_rollbacks:
                         return None
                     outcome = batch.consume(index[node])
+                    failed_first = not outcome.passed
+                    if bandit is not None:
+                        bandit.observe_bisect(
+                            bug_type, base_depth + consumed_here,
+                            failed_first, preds.get(node))
+                    consumed_here += 1
                     half = node[:len(node) // 2]
-                    node = (half if not outcome.passed
+                    node = (half if failed_first
                             else node[len(node) // 2:])
             finally:
                 batch.finish()
+            base_depth += consumed_here
             candidates = node
         return candidates[0]
 

@@ -158,6 +158,14 @@ class FirstAidConfig:
     #: worker tasks) inherits the tier.  Tests default to the reference
     #: interpreter; benches opt into "compiled".
     vm_tier: str = "reference"
+    #: Diagnosis search policy (repro.search, DESIGN.md §13).
+    #: "fixed" is the legacy schedule; "pruned" adds static bytecode
+    #: feasibility masks + call-site arm pruning (fewer probes
+    #: consumed); "bandit" additionally shapes the parallel executor's
+    #: speculation with a deterministic UCB1 bandit (fewer probes
+    #: executed at workers > 1).  The produced Diagnosis is
+    #: byte-identical under all three.
+    search_policy: str = "fixed"
 
 
 @dataclass
@@ -275,6 +283,13 @@ class FirstAidRuntime:
             self.config.validation_iterations, self.events,
             telemetry=self.telemetry, executor=self.executor,
             store=self.store, chaos=self.config.chaos)
+        #: Session-owned search state: static facts cached per program,
+        #: bandit arm statistics persisting across failures.  Imported
+        #: lazily -- repro.search depends on repro.core.bugtypes, and
+        #: this module is part of repro.core's package init.
+        from repro.search.state import SearchState
+        self.search = SearchState(self.config.search_policy,
+                                  seed=self.config.entropy_seed)
         self.recoveries: List[RecoveryRecord] = []
         self._recovery_supervisor = None
 
@@ -638,7 +653,8 @@ class FirstAidRuntime:
             max_rollbacks=self.config.max_rollbacks,
             telemetry=self.telemetry,
             executor=self.executor,
-            chaos=self.config.chaos)
+            chaos=self.config.chaos,
+            search=self.search)
         diagnosis = engine.diagnose(failure)
         record.diagnosis = diagnosis
         for event in diag_log:

@@ -106,6 +106,19 @@ def _render_phase_table(recoveries: List[Span]) -> List[str]:
         if clone_ns:
             out.append(f"    {'validation (off-path)':<22s} "
                        f"{clone_ns / 1e9:9.3f} s  (clone clock)")
+        for span in recovery.walk():
+            # Search-policy accounting rides on the diagnosis span
+            # (repro.search): how many probes ran vs. were statically
+            # pruned away, next to the phase costs they would have
+            # added to.
+            if span.name == "diagnosis" and "search_policy" in span.attrs:
+                out.append(
+                    f"    {'search':<22s} "
+                    f"policy={span.attrs['search_policy']} "
+                    f"executed={span.attrs.get('probes_executed', 0)} "
+                    f"consumed={span.attrs.get('probes_consumed', 0)} "
+                    f"pruned={span.attrs.get('probes_pruned', 0)} "
+                    f"arms_pruned={span.attrs.get('arms_pruned', 0)}")
     return out
 
 

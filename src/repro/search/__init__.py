@@ -1,0 +1,34 @@
+"""Search policies for the diagnostic engine (DESIGN.md §13).
+
+The diagnostic engine's probe schedule is a search over (change-group,
+call-site-partition) candidates.  This package replaces the fixed
+schedule with two cooperating layers:
+
+* :mod:`repro.search.pruner` -- a cheap static analysis over MiniC
+  bytecode (def-use provenance, typestate reachability, free-operand
+  validity) that rules candidate arms out *before any re-execution*:
+  probes whose outcome is statically forced are skipped, and call-site
+  arms whose exposure is provably unobservable never enter the binary
+  search.
+* :mod:`repro.search.bandit` -- a deterministic bandit (UCB1 branch
+  arms over the bisection tree, counterfactual-cost wave sizing for the
+  checkpoint walk) that allocates the parallel executor's speculative
+  worker slots to the most promising probes.  It shapes *speculation
+  only*: the consumed decision path -- and therefore the diagnosis --
+  is byte-identical to the fixed schedule.
+
+:class:`~repro.search.state.SearchState` ties both together and is
+owned by the runtime so arm statistics persist across failures.
+"""
+
+from repro.search.bandit import SearchBandit
+from repro.search.pruner import ProgramFacts, analyze_program
+from repro.search.state import SEARCH_POLICIES, SearchState
+
+__all__ = [
+    "SEARCH_POLICIES",
+    "SearchState",
+    "SearchBandit",
+    "ProgramFacts",
+    "analyze_program",
+]

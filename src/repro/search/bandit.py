@@ -1,0 +1,188 @@
+"""Deterministic bandit allocation of speculative worker slots.
+
+The bandit shapes **speculation only** (DESIGN.md §13): which probes the
+parallel executor dispatches ahead of time, and how many.  The engine's
+*consumed* decision path -- which probe results it actually acts on, in
+which order, under which entropy salts -- is exactly the fixed
+schedule's, so the diagnosis is byte-identical by construction.  A bad
+prediction costs redispatch latency, never correctness.
+
+Two arm families:
+
+* **Bisect arms** (UCB1).  In the call-site binary search the fixed
+  schedule speculates the full BFS frontier of the decision tree
+  (breadth ``2**k``); the bandit instead walks the *predicted* root-to-
+  leaf path -- at each node predicting whether the failing half is the
+  first or second -- and dispatches the path plus a small hedge fanout.
+  Arms are keyed by ``(bug_type, min(depth, 15))``; the reward is
+  "prediction matched the consumed outcome".  The prior predicts the
+  first half fails, which reproduces the fixed schedule's left-first
+  BFS bias until real counts accumulate.
+* **Walk waves** (counterfactual cost minimization).  The phase-1b
+  checkpoint walk probes checkpoints newest-first until one passes; the
+  fixed schedule speculates all ``max_checkpoint_search`` candidates at
+  once.  The bandit picks the first wave size minimizing the average
+  *counterfactual* dispatch cost over the observed depth history (waves
+  double after a miss), so fleets whose failures are caught by the
+  newest checkpoint stop paying for eight-wide speculation.
+
+All tie-breaks come from a :class:`~repro.util.rng.DeterministicRNG`
+forked from the configured seed -- no wall-clock, no :mod:`random` --
+and every decision is appended to :attr:`trace`, which the repeated-run
+determinism test compares across sessions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.core.bugtypes import BugType
+from repro.util.rng import DeterministicRNG
+
+#: depth bucket cap for bisect arms (deeper nodes share one arm)
+_MAX_DEPTH_KEY = 15
+
+#: UCB1 exploration coefficient (sqrt(2) is the classic choice)
+_UCB_C = math.sqrt(2.0)
+
+#: relative cost of a redispatch round-trip vs one speculated probe,
+#: used by the counterfactual wave-size model (a miss costs another
+#: dispatch barrier; an over-wide wave costs discarded probes)
+_REDISPATCH_COST = 2.0
+
+
+class _Arm:
+    __slots__ = ("pulls", "wins")
+
+    def __init__(self) -> None:
+        self.pulls = 0
+        self.wins = 0
+
+
+class SearchBandit:
+    """Deterministic UCB1 + wave-sizing state, owned by the runtime so
+    statistics persist across failures within a session."""
+
+    def __init__(self, seed: int = 1):
+        self._rng = DeterministicRNG(seed).fork(0x5EA2C4)
+        #: (bug_type.value, depth_bucket) -> success counts for the
+        #: "first half fails" prediction
+        self._bisect: Dict[Tuple[int, int], _Arm] = {}
+        #: consumed-depth history of phase-1b walks (1-based depth of
+        #: the first passing checkpoint; ``n`` if none passed)
+        self._walk_depths: List[int] = []
+        #: every decision, for the determinism test:
+        #: ("bisect", key, predict_first) | ("walk", n, first_wave)
+        self.trace: List[Tuple] = []
+        #: mispredicted bisect nodes + walk waves that missed --
+        #: speculation wasted, the bandit's (latency) regret
+        self.regret = 0
+
+    # -- bisect arms ----------------------------------------------------
+
+    @staticmethod
+    def _key(bug_type: BugType, depth: int) -> Tuple[int, int]:
+        return (bug_type.value, min(depth, _MAX_DEPTH_KEY))
+
+    def predict_first_half_fails(self, bug_type: BugType,
+                                 depth: int) -> bool:
+        """UCB1 pick between "first half fails" and "second half
+        fails" for one bisection node."""
+        key = self._key(bug_type, depth)
+        arm = self._bisect.get(key)
+        if arm is None or arm.pulls == 0:
+            decision = True    # matches the fixed schedule's BFS bias
+        else:
+            mean_first = arm.wins / arm.pulls
+            bonus = _UCB_C * math.sqrt(
+                math.log(arm.pulls + 1) / arm.pulls)
+            ucb_first = mean_first + bonus
+            ucb_second = (1.0 - mean_first) + bonus
+            if ucb_first > ucb_second:
+                decision = True
+            elif ucb_first < ucb_second:
+                decision = False
+            else:
+                decision = bool(self._rng.next_u64() & 1)
+        self.trace.append(("bisect", key, decision))
+        return decision
+
+    def observe_bisect(self, bug_type: BugType, depth: int,
+                       first_half_failed: bool,
+                       predicted: "bool | None") -> None:
+        """Update the arm with the consumed outcome.  ``predicted`` is
+        the prediction made when this node was dispatched (``None`` for
+        nodes speculated without a prediction, e.g. redispatch roots):
+        a mismatch is counted as regret -- that speculation was
+        wasted."""
+        key = self._key(bug_type, depth)
+        arm = self._bisect.setdefault(key, _Arm())
+        arm.pulls += 1
+        if first_half_failed:
+            arm.wins += 1
+        if predicted is not None and predicted != first_half_failed:
+            self.regret += 1
+
+    # -- walk waves -----------------------------------------------------
+
+    def plan_walk_waves(self, n: int, workers: int) -> List[int]:
+        """Partition an ``n``-candidate newest-first walk into
+        speculation waves.  The first wave size minimizes average
+        counterfactual cost over the observed depth history; later
+        waves double (classic doubling search keeps the worst case
+        within a constant factor of the fixed schedule)."""
+        if n <= 0:
+            return []
+        first = min(n, max(1, self._walk_guess(n)))
+        self.trace.append(("walk", n, first))
+        waves = [first]
+        done = first
+        width = first
+        while done < n:
+            width = min(n - done, max(1, width * 2))
+            waves.append(width)
+            done += width
+        return waves
+
+    def _walk_guess(self, n: int) -> int:
+        history = self._walk_depths[-32:]
+        if not history:
+            return 1
+        best_w, best_cost = 1, None
+        for w in range(1, n + 1):
+            cost = 0.0
+            for depth in history:
+                d = min(depth, n)
+                waves, done, width = 0, 0, w
+                dispatched = 0
+                while done < d:
+                    step = min(n - done, width)
+                    dispatched += step
+                    done += step
+                    waves += 1
+                    width = max(1, width * 2)
+                cost += dispatched + _REDISPATCH_COST * max(0, waves - 1)
+            if best_cost is None or cost < best_cost:
+                best_w, best_cost = w, cost
+        return best_w
+
+    def observe_walk(self, consumed_depth: int, extra_waves: int) -> None:
+        """``consumed_depth``: 1-based index of the last candidate the
+        engine actually consumed; ``extra_waves``: dispatch rounds
+        beyond the first (each one is paid latency the fixed schedule's
+        single full-width batch would not have paid)."""
+        self._walk_depths.append(max(1, consumed_depth))
+        self.regret += extra_waves
+
+    # -- diagnostics ----------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        return {
+            "bisect_arms": {
+                f"{bt}:{d}": (a.pulls, a.wins)
+                for (bt, d), a in sorted(self._bisect.items())},
+            "walk_depths": list(self._walk_depths),
+            "decisions": len(self.trace),
+            "regret": self.regret,
+        }

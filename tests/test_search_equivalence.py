@@ -1,0 +1,206 @@
+"""Search-policy equivalence: fixed, pruned, and bandit schedules must
+produce byte-identical diagnoses (ISSUE 8's hard correctness bar).
+
+The digest compared here is everything the diagnosis *concluded* --
+verdict, bug types, chosen checkpoint, evidence sites and details,
+patch points -- and deliberately excludes how much work it took
+(rollbacks, probe counts): doing less work for the same answer is the
+point.  A hypothesis property test sweeps randomized workload shapes
+and seeds across the crafted bug apps; a repeated-run test pins full
+determinism of the bandit (same seed => same arm pulls => same probe
+order)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.harness import run_app_session
+from repro.checkpoint.manager import CheckpointManager
+from repro.core.diagnosis import DiagnosticEngine, Verdict
+from repro.core.patches import PatchPool
+from repro.monitors import default_monitors
+from repro.parallel.executor import make_executor
+from repro.search import SearchState
+from repro.vm.machine import RunReason
+from tests.conftest import make_process
+from tests.test_core_diagnosis import (
+    DANGLING_READ_APP,
+    DANGLING_WRITE_APP,
+    DOUBLE_FREE_APP,
+    OVERFLOW_APP,
+    UNINIT_APP,
+)
+
+INTERVAL = 2000
+
+APPS = {
+    "overflow": (OVERFLOW_APP, [8] * 10 + [64] + [8] * 10 + [0]),
+    "dangling_read": (DANGLING_READ_APP,
+                      [1] * 5 + [1, 2, 3, 4] + [1] * 5 + [0]),
+    "dangling_write": (DANGLING_WRITE_APP,
+                       [2] * 6 + [1, 2, 3, 4] + [2] * 6 + [0]),
+    "double_free": (DOUBLE_FREE_APP, [1] * 8 + [2] + [1] * 8 + [0]),
+    "uninit": (UNINIT_APP, [2] * 6 + [1, 2] + [2] * 6 + [0]),
+}
+
+
+def diagnose_with(source, tokens, policy, workers=1, seed=1,
+                  name="t"):
+    """Run to the first failure and diagnose under one search policy.
+    Returns (diagnosis, search_state, engine)."""
+    process = make_process(source, tokens=tokens, name=name)
+    manager = CheckpointManager(process, interval=INTERVAL,
+                                adaptive=False)
+    result = manager.run()
+    assert result.reason is RunReason.FAULT, f"no failure: {result}"
+    failure = None
+    for monitor in default_monitors():
+        failure = monitor.check(result, process)
+        if failure:
+            break
+    assert failure is not None
+    pool = PatchPool(name)
+    search = SearchState(policy, seed=seed)
+    executor = make_executor(workers, process.program)
+    engine = DiagnosticEngine(process, manager, pool,
+                              max_checkpoint_search=8,
+                              window_intervals=3,
+                              executor=executor,
+                              search=search)
+    try:
+        return engine.diagnose(failure), search, engine
+    finally:
+        if executor is not None:
+            executor.close()
+
+
+def digest(diagnosis):
+    """The cross-policy identity: what was concluded, not what it
+    cost."""
+    return (
+        diagnosis.verdict,
+        tuple(diagnosis.bug_types),
+        diagnosis.checkpoint.index if diagnosis.checkpoint else None,
+        tuple((bt.value,
+               tuple(s.render() for s in diagnosis.evidence[bt].sites),
+               tuple(diagnosis.evidence[bt].details))
+              for bt in diagnosis.bug_types),
+        tuple((p.bug_type.value, p.point.render())
+              for p in diagnosis.patches),
+    )
+
+
+# ---------------------------------------------------------------------
+# crafted apps, every policy, serial + speculative backends
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_policies_agree_serial(app):
+    source, tokens = APPS[app]
+    base, _, _ = diagnose_with(source, tokens, "fixed")
+    assert base.verdict is Verdict.PATCHED
+    for policy in ("pruned", "bandit"):
+        diag, _, _ = diagnose_with(source, tokens, policy)
+        assert digest(diag) == digest(base), (app, policy)
+
+
+@pytest.mark.parametrize("app", ["overflow", "dangling_read"])
+def test_policies_agree_speculative(app):
+    source, tokens = APPS[app]
+    base, _, _ = diagnose_with(source, tokens, "fixed")
+    for policy in ("fixed", "pruned", "bandit"):
+        diag, _, _ = diagnose_with(source, tokens, policy, workers=2)
+        assert digest(diag) == digest(base), (app, policy)
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_pruned_consumes_strictly_fewer_probes(app):
+    """First diagnosis, empty pool, deterministic program: the static
+    1a skip alone guarantees a strict win."""
+    source, tokens = APPS[app]
+    fixed, _, _ = diagnose_with(source, tokens, "fixed")
+    pruned, _, _ = diagnose_with(source, tokens, "pruned")
+    assert (pruned.search_info["probes_consumed"]
+            < fixed.search_info["probes_consumed"])
+    assert pruned.search_info["probes_pruned"] >= 1
+
+
+def test_pruned_skips_infeasible_groups():
+    """DOUBLE_FREE_APP never loads from the heap, so the
+    uninitialized-read group probe is statically skipped -- on top of
+    the 1a skip -- with the diagnosis unchanged."""
+    source, tokens = APPS["double_free"]
+    fixed, _, _ = diagnose_with(source, tokens, "fixed")
+    pruned, _, _ = diagnose_with(source, tokens, "pruned")
+    assert digest(pruned) == digest(fixed)
+    assert fixed.verdict is Verdict.PATCHED
+    assert pruned.search_info["probes_pruned"] >= 2
+    assert any("infeasible group: uninitialized-read" in n
+               for n in pruned.notes)
+
+
+# ---------------------------------------------------------------------
+# hypothesis sweep: randomized workload shapes and seeds
+# ---------------------------------------------------------------------
+
+@given(app=st.sampled_from(sorted(APPS)),
+       prefix=st.integers(min_value=0, max_value=12),
+       suffix=st.integers(min_value=1, max_value=12),
+       seed=st.integers(min_value=1, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_property_policies_agree(app, prefix, suffix, seed):
+    source, base_tokens = APPS[app]
+    # keep the trigger subsequence, randomize the benign padding
+    trigger = [t for t in base_tokens if t != 0][prefix and 0:]
+    normal = base_tokens[0]
+    tokens = [normal] * prefix + trigger + [normal] * suffix + [0]
+    results = {}
+    for policy in ("fixed", "pruned", "bandit"):
+        diag, _, _ = diagnose_with(source, tokens, policy, seed=seed)
+        results[policy] = digest(diag)
+    assert results["fixed"] == results["pruned"] == results["bandit"]
+
+
+# ---------------------------------------------------------------------
+# determinism: same seed -> same arm pulls -> same probe order
+# ---------------------------------------------------------------------
+
+def test_bandit_repeated_run_determinism():
+    source, tokens = APPS["dangling_read"]
+    runs = []
+    for _ in range(2):
+        diag, search, engine = diagnose_with(source, tokens, "bandit",
+                                             workers=2, seed=99)
+        runs.append((digest(diag),
+                     diag.search_info["probes_executed"],
+                     diag.search_info["probes_consumed"],
+                     tuple(search.bandit.trace),
+                     search.bandit.regret,
+                     search.bandit.snapshot()))
+    assert runs[0] == runs[1]
+    assert runs[0][3], "bandit made no decisions"
+
+
+def test_bandit_seed_changes_only_speculation():
+    source, tokens = APPS["dangling_read"]
+    a, _, _ = diagnose_with(source, tokens, "bandit", workers=2, seed=1)
+    b, _, _ = diagnose_with(source, tokens, "bandit", workers=2, seed=2)
+    assert digest(a) == digest(b)
+
+
+# ---------------------------------------------------------------------
+# full sessions: backend equivalence under the new policies
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("policy", ["pruned", "bandit"])
+def test_session_backend_equivalence(policy):
+    serial = run_app_session("bc", triggers=1, search_policy=policy)
+    forked = run_app_session("bc", triggers=1, workers=2,
+                             search_policy=policy)
+    assert serial.equivalence_key() == forked.equivalence_key()
+
+
+def test_session_cross_policy_diagnosis_identity():
+    keys = [run_app_session("bc", triggers=1,
+                            search_policy=p).diagnosis_key()
+            for p in ("fixed", "pruned", "bandit")]
+    assert keys[0] == keys[1] == keys[2]
