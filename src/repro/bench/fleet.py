@@ -196,6 +196,283 @@ def run_fleet_serial(app_name: str, store_path: str, procs: int = 4,
 
 
 # ---------------------------------------------------------------------
+# staged rollout: canary containment + health-gated promotion
+# (DESIGN.md §14)
+# ---------------------------------------------------------------------
+
+#: Call-site of the deliberately-bad injected canary patch.  The frame
+#: name never appears in any app program, so the patch can never fire
+#: -- its only observable effect is *being adopted*, which is exactly
+#: what the containment gate counts.
+BAD_PATCH_FRAME = ("injected_bad", 0)
+
+
+@dataclass
+class RolloutMemberReport:
+    """One rollout-fleet member's session, digested for the gates."""
+
+    index: int
+    role: str                  # "canary-leader" | "canary" |
+                               # "early-follower" | "late-follower"
+    label: str
+    canary: bool
+    reason: str
+    recoveries: int
+    survived: bool
+    patches: int
+    patched_triggers: int      # local prevention-policy trigger count
+    bad_patch_adopted: bool    # gate: False for every non-canary
+    bad_patch_triggers: int    # gate: 0 for every non-canary
+    wall_s: float
+
+    def digest(self) -> Tuple:
+        """The deterministic slice (wall clock and pids excluded):
+        the serial-vs-fork byte-identity gate compares these."""
+        return (self.role, self.label, self.canary, self.reason,
+                self.recoveries, self.survived, self.patches,
+                self.patched_triggers, self.bad_patch_adopted,
+                self.bad_patch_triggers)
+
+
+@dataclass
+class RolloutFleetResult:
+    """One app's staged-rollout experiment: a bad patch injected at
+    STAGED next to a real bug, canaries exposed, the promotion
+    controller judging both, then late joiners reaping the verdict."""
+
+    app: str
+    canary_fraction: float
+    bad_key: str
+    real_keys: List[str]
+    members: List[RolloutMemberReport]
+    #: Rendered decision trail from the controller pass (sorted patch
+    #: keys, cascaded) -- the byte-identity gates compare this string
+    #: list verbatim.
+    decisions: List[str]
+    #: A second tick over the settled store must decide nothing.
+    second_tick_decisions: int
+    #: patch_key -> final stage (including terminal "rolled_back").
+    final_stages: Dict[str, str]
+    rolled_back: List[str]
+    store_generation: int
+    #: evaluate() re-run over ``shuffles`` permutations of the beacon
+    #: list must reproduce the decision trail byte-identically.
+    order_invariant: bool
+    shuffles: int
+
+    @property
+    def non_canary_members(self) -> List[RolloutMemberReport]:
+        return [m for m in self.members if not m.canary]
+
+    @property
+    def containment_passed(self) -> bool:
+        """The deliberately-bad patch never reached a non-canary
+        process, and the fleet condemned it."""
+        return (self.bad_key in self.rolled_back
+                and self.final_stages.get(self.bad_key) == "rolled_back"
+                and bool(self.non_canary_members)
+                and all(not m.bad_patch_adopted
+                        and m.bad_patch_triggers == 0
+                        for m in self.non_canary_members))
+
+    @property
+    def promotion_passed(self) -> bool:
+        """The real patch graduated to fleet-wide and prevented the
+        bug in every late joiner."""
+        late = [m for m in self.members if m.role == "late-follower"]
+        return (bool(self.real_keys)
+                and all(self.final_stages.get(k) == "fleet_wide"
+                        for k in self.real_keys)
+                and bool(late)
+                and all(m.recoveries == 0 and m.survived
+                        and m.patched_triggers > 0 for m in late))
+
+    @property
+    def gate_passed(self) -> bool:
+        return (self.containment_passed and self.promotion_passed
+                and self.order_invariant
+                and self.second_tick_decisions == 0)
+
+    def fleet_digest(self) -> Tuple:
+        """Everything the serial-vs-fork gate compares."""
+        return (tuple(m.digest() for m in sorted(
+                    self.members, key=lambda m: m.label)),
+                tuple(self.decisions),
+                tuple(sorted(self.final_stages.items())),
+                tuple(sorted(self.rolled_back)))
+
+
+def _rollout_member(spec) -> RolloutMemberReport:
+    """Run one rollout-fleet member (module-level: ships to forked
+    workers)."""
+    (index, role, app_name, store_path, label, triggers, seed,
+     fraction, bad_key) = spec
+    app = get_app(app_name)
+    wl = spaced_workload(app, triggers=triggers, seed=seed)
+    config = FirstAidConfig(store_path=store_path, process_label=label,
+                            rollout=True, canary_fraction=fraction)
+    runtime = FirstAidRuntime(app.program(), input_tokens=wl.tokens,
+                              config=config)
+    started = time.perf_counter()
+    session = runtime.run()
+    wall = time.perf_counter() - started
+    patches = runtime.pool.patches()
+    report = RolloutMemberReport(
+        index=index, role=role, label=label,
+        canary=runtime._canary,
+        reason=session.reason,
+        recoveries=len(session.recoveries),
+        survived=session.survived_all and session.reason != "died",
+        patches=len(patches),
+        patched_triggers=sum(
+            count for key, count
+            in runtime.policy.local_triggers.items()
+            if key != bad_key),
+        bad_patch_adopted=any(p.key == bad_key for p in patches),
+        bad_patch_triggers=runtime.policy.local_triggers.get(
+            bad_key, 0),
+        wall_s=wall)
+    runtime.close()
+    return report
+
+
+def run_rollout_fleet(app_name: str, store_path: str,
+                      canary_fraction: float = 0.25,
+                      triggers: int = 2,
+                      late_followers: int = 2,
+                      min_observe_ns: int = 1_000_000,
+                      max_latency_p99_ns: int = 60_000_000_000,
+                      shuffles: int = 5,
+                      parallel: bool = True) -> RolloutFleetResult:
+    """The staged-rollout chaos experiment for one app.
+
+    A deliberately-bad patch (a call-site no app program contains) is
+    injected at STAGED before anyone runs.  Phase A: a canary leader
+    hits the real bug alone (diagnosis + STAGED publish), then a second
+    canary and an early non-canary follower run -- the canary absorbs
+    both staged patches, the follower must absorb *neither* (it
+    diagnoses the real bug itself; the bad patch must never touch it).
+    The promotion controller then consumes the fleet's beacons: the
+    bad patch -- which was live in the canaries when the real bug
+    struck the leader -- blows the post-adopt failure-rate gate and is
+    rolled back; the real patch clears every gate and cascades to
+    fleet-wide.  Phase B: late non-canary followers join and must be
+    prevented by the promoted patch while the condemned one stays
+    buried.
+
+    Determinism gates ride along: the decision trail must be
+    byte-identical across ``shuffles`` random permutations of the
+    beacon list, a second controller tick must decide nothing, and
+    :func:`run_rollout_fleet_serial` (same spec, no forking) must
+    produce the same :meth:`RolloutFleetResult.fleet_digest`."""
+    from repro.obs.health import HealthChannel, health_path
+    from repro.rollout import (RolloutConfig, PromotionController,
+                               evaluate, pick_labels)
+
+    program_name = get_app(app_name).program().name
+    (canary_labels, other_labels) = pick_labels(
+        2, 1 + late_followers, canary_fraction)
+    leader_label, second_canary = canary_labels
+    early_label, late_labels = other_labels[0], other_labels[1:]
+
+    # The poisoned well: a staged patch nobody asked for, at a
+    # call-site that cannot execute.
+    store = SharedPatchStore(store_path, program_name)
+    bad_pool = PatchPool(program_name)
+    bad = bad_pool.new_patch(BugType.DOUBLE_FREE,
+                             CallSite.intern([BAD_PATCH_FRAME]))
+    from repro.rollout import STAGED
+    store.publish([bad], stage=STAGED)
+    bad_key = bad.key
+
+    def member(index, role, label, seed):
+        return (index, role, app_name, store_path, label, triggers,
+                seed, canary_fraction, bad_key)
+
+    # Phase A: leader alone (publishes the real patch at STAGED), then
+    # the exposed cohort.
+    members: List[RolloutMemberReport] = []
+    members.append(_rollout_member(
+        member(0, "canary-leader", leader_label, 42)))
+    phase_a = [member(1, "canary", second_canary, 43),
+               member(2, "early-follower", early_label, 44)]
+    if parallel:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        with ProcessPoolExecutor(max_workers=len(phase_a),
+                                 mp_context=ctx) as pool:
+            members.extend(pool.map(_rollout_member, phase_a))
+    else:
+        members.extend(_rollout_member(spec) for spec in phase_a)
+
+    # The promotion controller consumes the cohort's evidence.
+    channel = HealthChannel(health_path(store_path), program_name)
+    cfg = RolloutConfig(canary_fraction=canary_fraction,
+                        min_observe_ns=min_observe_ns,
+                        max_failure_rate=0.0,
+                        max_latency_p99_ns=max_latency_p99_ns,
+                        min_canary_processes=1)
+    controller = PromotionController(store, channel, cfg)
+    state_before = store.load()
+    beacons = controller._beacons()
+    decide_at = max((b.time_ns for b in beacons), default=0)
+    decisions = [d.render()
+                 for d in controller.tick(time_ns=decide_at)]
+    second = len(controller.tick(time_ns=decide_at))
+
+    # Beacon arrival order must not matter: evaluate() over shuffled
+    # permutations reproduces the decision trail byte-for-byte.
+    order_invariant = True
+    for i in range(shuffles):
+        shuffled = list(beacons)
+        random.Random(1000 + i).shuffle(shuffled)
+        replay = [d.render()
+                  for d in evaluate(state_before, shuffled, cfg)]
+        if replay != decisions:
+            order_invariant = False
+
+    # Phase B: late joiners reap the promoted patch.
+    phase_b = [member(3 + i, "late-follower", label, 45 + i)
+               for i, label in enumerate(late_labels)]
+    if parallel and phase_b:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        with ProcessPoolExecutor(max_workers=len(phase_b),
+                                 mp_context=ctx) as pool:
+            members.extend(pool.map(_rollout_member, phase_b))
+    else:
+        members.extend(_rollout_member(spec) for spec in phase_b)
+
+    final = store.load()
+    return RolloutFleetResult(
+        app=app_name,
+        canary_fraction=canary_fraction,
+        bad_key=bad_key,
+        real_keys=sorted(k for k in final.patches if k != bad_key),
+        members=members,
+        decisions=decisions,
+        second_tick_decisions=second,
+        final_stages=final.stages(),
+        rolled_back=sorted(final.rolled_back),
+        store_generation=final.generation,
+        order_invariant=order_invariant,
+        shuffles=shuffles)
+
+
+def run_rollout_fleet_serial(app_name: str, store_path: str,
+                             **kw) -> RolloutFleetResult:
+    """:func:`run_rollout_fleet` with every member run sequentially in
+    this host process -- the other half of the serial-vs-fork
+    byte-identity gate."""
+    kw["parallel"] = False
+    return run_rollout_fleet(app_name, store_path, **kw)
+
+
+# ---------------------------------------------------------------------
 # live mid-run pickup (deterministic, in-process)
 # ---------------------------------------------------------------------
 

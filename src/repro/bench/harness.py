@@ -243,17 +243,25 @@ def run_app_session(app_name: str, triggers: int = 2,
                     telemetry: bool = False,
                     supervisor: bool = True,
                     vm_tier: str = "reference",
-                    search_policy: str = "fixed") -> SessionDigest:
+                    search_policy: str = "fixed",
+                    rollout: bool = False,
+                    store_path: Optional[str] = None) -> SessionDigest:
     """Run one app under First-Aid and digest the session.  Top-level
     (and addressed by app *name*) so the call itself can ship to a
-    worker process when benchmark sessions fan out."""
+    worker process when benchmark sessions fan out.
+
+    ``rollout`` (with a ``store_path``) turns on staged rollout for
+    the session; the rollout bench gates that the digest's
+    equivalence/diagnosis keys match the rollout-off run exactly --
+    staged distribution must never change what a session diagnoses."""
     import time as _time
 
     app = {a.name: a for a in all_apps()}[app_name]
     wl = spaced_workload(app, triggers)
     config = FirstAidConfig(workers=workers, telemetry=telemetry,
                             supervisor=supervisor, vm_tier=vm_tier,
-                            search_policy=search_policy)
+                            search_policy=search_policy,
+                            rollout=rollout, store_path=store_path)
     started = _time.perf_counter()
     runtime, session, _ = run_first_aid(app, wl, config=config)
     wall = _time.perf_counter() - started

@@ -166,6 +166,27 @@ class FirstAidConfig:
     #: executed at workers > 1).  The produced Diagnosis is
     #: byte-identical under all three.
     search_policy: str = "fixed"
+    #: Health-gated staged rollout (repro.rollout, DESIGN.md §14).
+    #: Off (default): every store patch is adopted by everyone -- the
+    #: pre-rollout behavior, byte-identical digests.  On: patches this
+    #: process diagnoses publish at STAGED; only the canary cohort
+    #: (hash of ``process_label`` under ``canary_fraction``) absorbs
+    #: pre-fleet-wide patches, and a patch the fleet rolled back is
+    #: never (re-)adopted for the rest of this session.
+    rollout: bool = False
+    canary_fraction: float = 0.25
+    #: Promotion gates (see repro.rollout.machine.RolloutConfig), all
+    #: in simulated nanoseconds.
+    rollout_min_observe_ns: int = 200_000_000
+    rollout_max_failure_rate: float = 0.0
+    rollout_max_latency_p99_ns: int = 10_000_000_000
+    rollout_min_canary: int = 1
+    #: Run the promotion controller inside this process (at store-
+    #: refresh boundaries and session exit).  Any process may carry
+    #: it -- decisions are a pure function of store + beacons, and
+    #: stage writes merge monotonically -- but benches typically
+    #: designate one.
+    rollout_controller: bool = False
 
 
 @dataclass
@@ -241,14 +262,26 @@ class FirstAidRuntime:
         self._retractions = 0
         self._process_label = (self.config.process_label
                                or f"{program.name}#{os.getpid()}")
+        #: Rollout state (repro.rollout, DESIGN.md §14).  All sim-time.
+        self._canary = True
+        self._rollout_controller = None
+        self._adopted_ns = {}            # patch_key -> sim adoption time
+        self._post_adopt_failures = {}   # patch_key -> failures while live
+        self._rolled_back_keys = set()   # never re-adopt this session
+        if self.config.rollout:
+            from repro.rollout import is_canary
+            self._canary = is_canary(self._process_label,
+                                     self.config.canary_fraction)
         if self.config.store_path:
             self.store = SharedPatchStore(self.config.store_path,
                                           program.name)
+            self.store.events = self.events
             self._store_sync(initial=True)
             if self.config.health:
                 self.health = HealthChannel(
                     health_path(self.config.store_path), program.name,
                     faults=self.config.health_faults)
+                self.health.events = self.events
         self.process = Process(
             program,
             input_tokens=input_tokens,
@@ -344,18 +377,39 @@ class FirstAidRuntime:
         """Absorb the shared store into the local pool (and drop
         retracted patches); refreshes the policy when anything
         changed.  Store failures are logged, never raised: a broken
-        shared file must not take down this process."""
+        shared file must not take down this process.
+
+        With rollout on, adoption is stage-filtered (non-canaries take
+        only fleet-wide records) and keys this session saw rolled back
+        are permanently refused -- a supervisor restart mid-session
+        must not smuggle a condemned patch back in."""
+        canary = self._canary if self.config.rollout else None
+        blocked = self._rolled_back_keys if self.config.rollout \
+            else None
         try:
-            changed, generation = self.store.sync_into(self.pool)
+            changed, state = self.store.sync_into(
+                self.pool, canary=canary, blocked=blocked)
         except StoreError as exc:
             self.events.emit(0, "store.error", op="sync",
                              error=str(exc))
             return
-        self._store_generation = generation
+        self._store_generation = state.generation
+        if self.config.rollout:
+            now = 0 if initial else self.process.clock.now_ns
+            newly = sorted(k for k in state.rolled_back
+                           if k not in self._rolled_back_keys)
+            for key in newly:
+                self._rolled_back_keys.add(key)
+                if self.pool.remove_key(key) is not None:
+                    changed = True
+            if newly:
+                self.events.emit(now, "rollout.blocked", keys=newly)
+            for patch in self.pool.patches():
+                self._adopted_ns.setdefault(patch.key, now)
         if changed and not initial:
             self.policy.refresh()
             self.events.emit(self.process.clock.now_ns, "store.refresh",
-                             generation=generation,
+                             generation=state.generation,
                              patches=len(self.pool))
 
     def _store_refresh_tick(self) -> None:
@@ -376,12 +430,18 @@ class FirstAidRuntime:
         if generation != self._store_generation:
             self._store_sync()
         self._health_publish("running")
+        self._rollout_tick()
 
-    def _store_publish(self, patches) -> None:
+    def _store_publish(self, patches, restage: bool = False) -> None:
         if self.store is None or not patches:
             return
         try:
-            state = self.store.publish(patches)
+            if self.config.rollout:
+                from repro.rollout import STAGED
+                state = self.store.publish(patches, stage=STAGED,
+                                           restage=restage)
+            else:
+                state = self.store.publish(patches)
         except StoreError as exc:
             self.events.emit(0, "store.error", op="publish",
                              error=str(exc))
@@ -390,6 +450,55 @@ class FirstAidRuntime:
         self.events.emit(self.process.clock.now_ns, "store.published",
                          keys=[p.key for p in patches],
                          generation=state.generation)
+
+    # ------------------------------------------------------------------
+    # staged rollout (DESIGN.md §14)
+    # ------------------------------------------------------------------
+
+    def _note_failure_for_rollout(self, time_ns: int) -> None:
+        """Attribute one failure to every patch that was live when it
+        struck (sim-time comparison): the canary evidence the
+        promotion controller gates on.  A patch adopted *after* the
+        failure is innocent."""
+        if not self.config.rollout:
+            return
+        for key, adopted in self._adopted_ns.items():
+            if adopted <= time_ns and self.pool.find_key(key) \
+                    is not None:
+                self._post_adopt_failures[key] = \
+                    self._post_adopt_failures.get(key, 0) + 1
+
+    def _rollout_tick(self) -> None:
+        """Run the promotion controller, when this process carries it.
+        Every failure degrades to a ``rollout.error`` event: rollout
+        bookkeeping must never take down the session."""
+        if not (self.config.rollout and self.config.rollout_controller) \
+                or self.store is None or self.health is None:
+            return
+        try:
+            if self._rollout_controller is None:
+                from repro.rollout import (PromotionController,
+                                           RolloutConfig)
+                cfg = RolloutConfig(
+                    canary_fraction=self.config.canary_fraction,
+                    min_observe_ns=self.config.rollout_min_observe_ns,
+                    max_failure_rate=self.config
+                    .rollout_max_failure_rate,
+                    max_latency_p99_ns=self.config
+                    .rollout_max_latency_p99_ns,
+                    min_canary_processes=self.config
+                    .rollout_min_canary)
+                self._rollout_controller = PromotionController(
+                    self.store, self.health, cfg, events=self.events)
+            decisions = self._rollout_controller.tick(
+                time_ns=self.process.clock.now_ns)
+        except Exception as exc:  # noqa: BLE001 - degrade, never die
+            self.events.emit(0, "rollout.error", error=str(exc))
+            return
+        if decisions:
+            # Reflect our own promotions/rollbacks immediately (e.g. a
+            # canary controller dropping a patch it just condemned).
+            self._store_sync()
 
     # ------------------------------------------------------------------
     # fleet health plane (DESIGN.md §12)
@@ -432,6 +541,14 @@ class FirstAidRuntime:
                 "created_time_ns": patch.created_time_ns,
                 "diagnosed": diagnosed.get(key, 0),
             }
+            if self.config.rollout:
+                # Canary evidence for the promotion controller; only
+                # serialized under rollout so pre-rollout beacons stay
+                # byte-identical.
+                patches[key]["adopted_ns"] = self._adopted_ns.get(
+                    key, patch.created_time_ns)
+                patches[key]["post_adopt_failures"] = \
+                    self._post_adopt_failures.get(key, 0)
         recovery = Histogram("recovery_ns", RECOVERY_BOUNDS)
         for record in recoveries:
             recovery.observe(record.recovery_time_ns)
@@ -442,6 +559,7 @@ class FirstAidRuntime:
             prev = time_ns
         self._health_seq += 1
         return HealthBeacon(
+            canary=self._canary if self.config.rollout else False,
             process_id=self._process_label,
             app=self.process.program.name,
             seq=self._health_seq,
@@ -542,6 +660,7 @@ class FirstAidRuntime:
                     # A fault no monitor claims: treat as fatal.
                     return self._finish(SessionResult("died",
                                                       self.recoveries))
+            self._note_failure_for_rollout(failure.time_ns)
             record = self._handle_failure(failure)
             self.recoveries.append(record)
             if not record.succeeded:
@@ -558,6 +677,9 @@ class FirstAidRuntime:
         # view that only shows processes with patches cannot answer
         # "did everyone survive?".
         self._health_publish(session.reason)
+        # A controller-carrying process decides once more on the way
+        # out, with its own exit beacon already on the channel.
+        self._rollout_tick()
         return session
 
     def _detect_failure(self, result: RunResult) -> Optional[FailureEvent]:
@@ -691,9 +813,21 @@ class FirstAidRuntime:
                          patches=len(diagnosis.patches))
         if self.config.pool_path:
             self.pool.save(self.config.pool_path)
+        if self.config.rollout:
+            # Self-diagnosed patches count as adopted from now on
+            # (post-adopt attribution), and a fresh diagnosis of a
+            # rolled-back key is the one legitimate restage path.
+            now = self.process.clock.now_ns
+            for patch in diagnosis.patches:
+                self._adopted_ns.setdefault(patch.key, now)
+                if patch.key in self._rolled_back_keys:
+                    self.events.emit(now, "rollout.restaged",
+                                     key=patch.key)
         # Publish on creation: peers start preventing this bug while we
         # are still validating (a failed validation retracts below).
-        self._store_publish(diagnosis.patches)
+        # Under rollout this enters at STAGED (restage=True: a fresh
+        # diagnosis outranks a rollback record).
+        self._store_publish(diagnosis.patches, restage=True)
 
         # Validation + report, off the recovery path (clone-based).
         if self.config.validate and diagnosis.checkpoint is not None:

@@ -108,14 +108,70 @@ def _fleet_main(argv) -> int:
                         "of text")
     args = parser.parse_args(argv)
     report = aggregate_store(args.store)
+    rollout = _rollout_section(args.store)
     try:
         if args.json:
-            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+            payload = report.to_json()
+            if rollout is not None:
+                payload["rollout"] = rollout
+            print(json.dumps(payload, indent=2, sort_keys=True))
         else:
             print(report.render())
+            if rollout is not None:
+                print()
+                print(_render_rollout(rollout))
     except BrokenPipeError:  # e.g. piped into `head`
         os.close(sys.stdout.fileno())
     return 0
+
+
+def _rollout_section(store_arg: str):
+    """Rollout stages for the patch store next to the health channel,
+    or None when the store carries no rollout metadata (pre-rollout
+    fleets keep their exact report output)."""
+    import os
+
+    from repro.store import SharedPatchStore
+
+    path = store_arg[:-len(".health")] \
+        if store_arg.endswith(".health") else store_arg
+    if not os.path.exists(path):
+        return None
+    try:
+        state = SharedPatchStore(path, program_name=None).load()
+    except Exception:
+        return None
+    has_envelopes = any(isinstance(p.get("rollout"), dict)
+                        for p in state.patches.values())
+    if not has_envelopes and not state.rolled_back:
+        return None
+    stages = state.stages()
+    return {
+        "generation": state.generation,
+        "stages": stages,
+        "since_ns": {
+            key: int(payload["rollout"].get("since_ns", 0))
+            for key, payload in sorted(state.patches.items())
+            if isinstance(payload.get("rollout"), dict)},
+        "rolled_back": {
+            key: {"reason": str(record.get("reason", "")),
+                  "time_ns": int(record.get("time_ns", 0)),
+                  "count": int(record.get("count", 0))}
+            for key, record in sorted(state.rolled_back.items())},
+    }
+
+
+def _render_rollout(rollout: dict) -> str:
+    lines = [f"rollout stages (store generation "
+             f"{rollout['generation']})"]
+    for key, stage in sorted(rollout["stages"].items()):
+        since = rollout["since_ns"].get(key)
+        suffix = f" since={since}ns" if since is not None else ""
+        record = rollout["rolled_back"].get(key)
+        if record and record["reason"]:
+            suffix += f"  ({record['reason']})"
+        lines.append(f"  {stage:<12s} {key}{suffix}")
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:

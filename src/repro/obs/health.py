@@ -57,9 +57,13 @@ LATENCY_BOUNDS = (100_000, 1_000_000, 10_000_000, 100_000_000,
 
 
 def health_path(store_path: str) -> str:
-    """The health channel file that rides next to a patch store."""
-    if store_path.endswith(".health"):
-        return store_path
+    """The health channel file that rides next to a patch store.
+    Unconditional suffixing: the old "already ends in .health" pass-
+    through mapped the health channel onto the *store file itself* for
+    any store that happened to end in ``.health`` (two channels, one
+    file -- each would quarantine the other's commits as corruption).
+    Consumers that accept a sidecar path directly (the fleet CLI)
+    resolve it *before* calling this."""
     return store_path + ".health"
 
 
@@ -110,6 +114,10 @@ class HealthBeacon:
     #: Histogram payloads (Histogram.to_snapshot shape).
     recovery_ns: dict = field(default_factory=dict)
     latency_ns: dict = field(default_factory=dict)
+    #: Rollout cohort membership (repro.rollout, DESIGN.md §14).
+    #: Serialized only when True, so rollout-disabled fleets emit
+    #: byte-identical beacons to the pre-rollout plane.
+    canary: bool = False
 
     def __post_init__(self) -> None:
         if not self.recovery_ns:
@@ -119,7 +127,7 @@ class HealthBeacon:
             self.latency_ns = _empty_hist("latency_ns", LATENCY_BOUNDS)
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "format": BEACON_FORMAT,
             "version": BEACON_VERSION,
             "process_id": self.process_id,
@@ -138,6 +146,9 @@ class HealthBeacon:
             "recovery_ns": self.recovery_ns,
             "latency_ns": self.latency_ns,
         }
+        if self.canary:
+            payload["canary"] = True
+        return payload
 
     @classmethod
     def from_json(cls, payload: dict) -> "HealthBeacon":
@@ -176,6 +187,7 @@ class HealthBeacon:
                 latency_ns=_hist_payload(
                     payload.get("latency_ns", _empty_hist(
                         "latency_ns", LATENCY_BOUNDS)), "latency_ns"),
+                canary=bool(payload.get("canary", False)),
             )
         except (TypeError, KeyError) as exc:
             raise ValueError(f"malformed health beacon: {exc!r}") from exc
@@ -390,8 +402,10 @@ class FleetHealthReport:
             rungs = " ".join(f"{r}:{n}" for r, n
                              in sorted((row["rung_counts"] or {}).items()))
             rec = row["recovery_ns"]
+            canary = " [canary]" if row.get("canary") else ""
             out.append(
-                f"  {row['process_id']:<16s} reason={row['reason']:<8s} "
+                f"  {row['process_id']:<16s}{canary} "
+                f"reason={row['reason']:<8s} "
                 f"failures={row['failures']} "
                 f"recovered={row['recovered']} "
                 f"restarts={row['restarts']} "
@@ -492,6 +506,7 @@ class FleetHealthAggregator:
                 "app": b.app,
                 "seq": b.seq,
                 "time_ns": b.time_ns,
+                "canary": b.canary,
                 "reason": b.reason,
                 "survived": b.survived,
                 "failures": b.failures,
@@ -567,10 +582,15 @@ class FleetHealthAggregator:
 def aggregate_store(store_path: str,
                     events=None) -> FleetHealthReport:
     """Load the health channel riding next to ``store_path`` and
-    aggregate it into a report (the CLI's path).  Corruption is
-    quarantined by the channel; a missing file yields an empty
-    report."""
-    channel = HealthChannel(health_path(store_path), program_name=None)
+    aggregate it into a report (the CLI's path).  A path that already
+    names a ``.health`` sidecar is used as the channel directly
+    (``health_path`` itself never pass-throughs: appending
+    unconditionally is what keeps a store named ``*.health`` from
+    aliasing its own sidecar).  Corruption is quarantined by the
+    channel; a missing file yields an empty report."""
+    path = store_path if store_path.endswith(".health") \
+        else health_path(store_path)
+    channel = HealthChannel(path, program_name=None)
     aggregator = FleetHealthAggregator(events=events)
     aggregator.add_state(channel.load())
     return aggregator.report()

@@ -1,0 +1,52 @@
+"""Health-gated staged patch rollout (DESIGN.md §14).
+
+Fleet-wide prevention (DESIGN.md §9) pushes every patch to every
+process instantly; production systems canary first.  This package
+layers a deterministic rollout state machine over the shared patch
+store: patches enter STAGED, a hash-bucketed canary fraction of the
+fleet adopts them, health beacons report the canaries' experience back
+through the existing channel, and the promotion controller advances
+patches along ``staged -> canary -> validating -> fleet_wide`` when
+the evidence clears configurable gates -- or retracts them with a
+``rolled_back`` tombstone the moment a canary is hurt.  Non-canary
+processes never absorb a pre-fleet-wide patch, and a rolled-back patch
+is never re-adopted mid-session.
+"""
+
+from repro.rollout.controller import (
+    PromotionController,
+    RolloutDecision,
+    evaluate,
+)
+from repro.rollout.machine import (
+    CANARY,
+    CANARY_ONLY_STAGES,
+    FLEET_WIDE,
+    ROLLED_BACK,
+    STAGE_ORDER,
+    STAGED,
+    VALIDATING,
+    RolloutConfig,
+    canary_bucket,
+    is_canary,
+    pick_labels,
+    stage_of,
+)
+
+__all__ = [
+    "CANARY",
+    "CANARY_ONLY_STAGES",
+    "FLEET_WIDE",
+    "ROLLED_BACK",
+    "STAGED",
+    "STAGE_ORDER",
+    "VALIDATING",
+    "PromotionController",
+    "RolloutConfig",
+    "RolloutDecision",
+    "canary_bucket",
+    "evaluate",
+    "is_canary",
+    "pick_labels",
+    "stage_of",
+]

@@ -1,0 +1,225 @@
+"""The promotion controller: health evidence in, stage decisions out.
+
+:func:`evaluate` is the whole policy, and it is a *pure function* of
+``(store state, health beacons, gates)``: no clocks, no randomness, no
+I/O.  Beacons feed in as parsed :class:`~repro.obs.health.HealthBeacon`
+objects; the cohort for each patch is rebuilt in sorted order, so the
+decision list is byte-identical regardless of beacon arrival order and
+identical between serial and forked fleets -- the property the rollout
+bench gates on.
+
+Per patch, the cascade walks the lattice as far as the evidence allows
+in one evaluation (a patch can go STAGED -> CANARY -> VALIDATING ->
+FLEET_WIDE in a single pass when the cohort already proved it out):
+
+* ``STAGED -> CANARY`` once at least ``min_canary_processes`` cohort
+  members report the patch in their beacons (it is actually live
+  somewhere, not just published).
+* ``CANARY -> VALIDATING`` once the longest cohort exposure (beacon
+  time minus adoption time, sim-time both) clears ``min_observe_ns``.
+* ``VALIDATING -> FLEET_WIDE`` when the cohort's post-adoption failure
+  rate is at or under ``max_failure_rate`` AND the merged canary
+  request-latency p99 is at or under ``max_latency_p99_ns``.
+* ``-> ROLLED_BACK`` from any stage, immediately, when a cohort member
+  died or gave up, or the failure-rate gate is already blown --
+  a patch that hurts its canaries must never graduate.
+
+The cohort counts canary processes plus any process that *diagnosed*
+the patch itself (the origin earns membership by evidence: it ran the
+patch longest, whatever its hash bucket says).
+
+:class:`PromotionController` binds the pure policy to a store and a
+health channel: ``tick()`` evaluates and applies, promotions via the
+store's advance-only stage merge, rollbacks via tombstone + rollback
+record.  Applying is idempotent -- a second tick over the same
+evidence decides nothing new.
+
+Module-level imports stay stdlib-plus-:mod:`repro.rollout.machine`
+only: ``repro.store.store`` imports this package during init, and the
+health plane sits above the store in the layer cake (lazy imports
+below break the cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.rollout.machine import (
+    CANARY,
+    FLEET_WIDE,
+    ROLLED_BACK,
+    STAGED,
+    VALIDATING,
+    RolloutConfig,
+    stage_of,
+)
+
+
+@dataclass
+class RolloutDecision:
+    """One stage transition the evidence justifies."""
+
+    key: str
+    from_stage: str
+    to_stage: str
+    reason: str
+
+    def render(self) -> str:
+        return (f"{self.key}: {self.from_stage} -> {self.to_stage}"
+                f" ({self.reason})")
+
+
+def _cohort(key: str, beacons) -> List[Tuple[object, dict]]:
+    """The evidence cohort for one patch: canary members plus
+    diagnosing origins, sorted by process id."""
+    rows = []
+    for beacon in sorted(beacons, key=lambda b: b.process_id):
+        entry = beacon.patches.get(key)
+        if entry is None:
+            continue
+        if getattr(beacon, "canary", False) \
+                or int(entry.get("diagnosed", 0)) > 0:
+            rows.append((beacon, entry))
+    return rows
+
+
+def _unhealthy(cohort, cfg: RolloutConfig) -> Optional[str]:
+    """A rollback reason when the cohort is hurting, else None."""
+    for beacon, _ in cohort:
+        if beacon.reason == "died" or beacon.gave_up > 0:
+            return (f"canary {beacon.process_id} unhealthy "
+                    f"(reason={beacon.reason}, "
+                    f"gave_up={beacon.gave_up})")
+    failures = sum(int(entry.get("post_adopt_failures", 0))
+                   for _, entry in cohort)
+    rate = failures / len(cohort) if cohort else 0.0
+    if rate > cfg.max_failure_rate:
+        return (f"post-adopt failure rate {rate:.4f} over "
+                f"{len(cohort)} canaries exceeds "
+                f"{cfg.max_failure_rate:.4f}")
+    return None
+
+
+def _latency_p99(cohort) -> int:
+    """Merged request-latency p99 over the cohort (sim-ns)."""
+    from repro.obs.health import LATENCY_BOUNDS
+    from repro.obs.metrics import Histogram
+    merged = Histogram("latency_ns", LATENCY_BOUNDS)
+    for beacon, _ in cohort:
+        try:
+            merged.merge_from(
+                Histogram.from_snapshot("latency_ns",
+                                        beacon.latency_ns))
+        except ValueError:
+            continue  # a scrambled histogram is not evidence
+    return int(merged.quantile(0.99))
+
+
+def _step(stage: str, cohort, cfg: RolloutConfig
+          ) -> Optional[Tuple[str, str]]:
+    """One lattice step (next stage, reason), or None to hold."""
+    bad = _unhealthy(cohort, cfg)
+    if stage == STAGED:
+        if len(cohort) >= cfg.min_canary_processes:
+            return CANARY, (f"{len(cohort)} canary process(es) "
+                            f"adopted")
+        return None
+    if bad is not None:
+        return ROLLED_BACK, bad
+    if stage == CANARY:
+        exposure = max(
+            (beacon.time_ns
+             - int(entry.get("adopted_ns", beacon.time_ns))
+             for beacon, entry in cohort), default=0)
+        if exposure >= cfg.min_observe_ns:
+            return VALIDATING, (f"observed {exposure}ns >= "
+                                f"{cfg.min_observe_ns}ns")
+        return None
+    if stage == VALIDATING:
+        p99 = _latency_p99(cohort)
+        if p99 > cfg.max_latency_p99_ns:
+            return ROLLED_BACK, (f"canary latency p99 {p99}ns "
+                                 f"exceeds {cfg.max_latency_p99_ns}ns")
+        return FLEET_WIDE, (f"gates clear (latency p99 {p99}ns, "
+                            f"{len(cohort)} canaries healthy)")
+    return None
+
+
+def evaluate(state, beacons, cfg: RolloutConfig
+             ) -> List[RolloutDecision]:
+    """All transitions the current evidence justifies, in sorted
+    patch-key order, cascading each patch as far as it can go."""
+    decisions: List[RolloutDecision] = []
+    for key in sorted(state.patches):
+        stage = stage_of(state.patches[key])
+        if stage == FLEET_WIDE:
+            continue
+        cohort = _cohort(key, beacons)
+        while True:
+            step = _step(stage, cohort, cfg)
+            if step is None:
+                break
+            to_stage, reason = step
+            decisions.append(RolloutDecision(
+                key=key, from_stage=stage, to_stage=to_stage,
+                reason=reason))
+            stage = to_stage
+            if stage in (FLEET_WIDE, ROLLED_BACK):
+                break
+    return decisions
+
+
+class PromotionController:
+    """Evaluate-and-apply against a live store + health channel."""
+
+    def __init__(self, store, channel, cfg: Optional[RolloutConfig]
+                 = None, events=None):
+        self.store = store
+        self.channel = channel
+        self.cfg = cfg or RolloutConfig()
+        self.events = events
+        #: Diagnostics for the bench and tests.
+        self.promotions = 0
+        self.rollbacks = 0
+        self.beacon_errors = 0
+
+    def _beacons(self) -> list:
+        from repro.obs.health import HealthBeacon
+        beacons = []
+        for _, payload in sorted(
+                self.channel.load().live_beacons().items()):
+            try:
+                beacons.append(HealthBeacon.from_json(payload))
+            except ValueError:
+                self.beacon_errors += 1
+        return beacons
+
+    def decisions(self) -> List[RolloutDecision]:
+        """Pure evaluation over the store + channel as they stand."""
+        return evaluate(self.store.load(), self._beacons(), self.cfg)
+
+    def tick(self, time_ns: int = 0) -> List[RolloutDecision]:
+        """Evaluate once and apply every decision.  ``time_ns`` is the
+        caller's simulated clock, stamped onto stage/rollback records
+        (never a wall clock -- determinism).  Idempotent: applied
+        decisions dissolve their own preconditions."""
+        decided = self.decisions()
+        for decision in decided:
+            if decision.to_stage == ROLLED_BACK:
+                self.store.rollback([decision.key], time_ns=time_ns,
+                                    reason=decision.reason)
+                self.rollbacks += 1
+                if self.events is not None:
+                    self.events.emit(time_ns, "rollout.rolled_back",
+                                     key=decision.key,
+                                     reason=decision.reason)
+            else:
+                self.store.set_stage(decision.key, decision.to_stage,
+                                     time_ns=time_ns)
+                self.promotions += 1
+                if self.events is not None:
+                    self.events.emit(time_ns, "rollout.promoted",
+                                     key=decision.key,
+                                     stage=decision.to_stage)
+        return decided

@@ -1,0 +1,118 @@
+"""Rollout stage vocabulary and deterministic canary assignment.
+
+The staged-rollout subsystem (DESIGN.md §14) hinges on two small, pure
+pieces that everything else -- the store's stage lattice, the
+promotion controller, the runtime's adoption filter, the benches --
+must agree on exactly:
+
+* The **stage lattice**: ``staged < canary < validating < fleet_wide``.
+  Stages only ever advance along this order (or terminate at
+  ``rolled_back``), so concurrent controllers merging through the
+  store's read-modify-write protocol converge: max-over-order is a
+  join, never a conflict.
+* **Canary assignment**: a process is a canary iff the SHA-256 bucket
+  of its ``process_label`` falls below the configured fraction.  Pure
+  function of the label -- no pids, no randomness, no wall clock -- so
+  a serial fleet and a forked fleet (and a re-run next week) assign
+  identically, which the byte-identity gates depend on.
+
+This module must stay dependency-free (stdlib only): it is imported by
+``repro.store.store`` during package init, below everything else in
+the layer cake.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Stage names, as stored in patch payloads (``rollout.stage``).
+STAGED = "staged"
+CANARY = "canary"
+VALIDATING = "validating"
+FLEET_WIDE = "fleet_wide"
+ROLLED_BACK = "rolled_back"
+
+#: Advancement lattice; merges take the max.  ``rolled_back`` is not a
+#: position on the ladder but a terminal tombstone (the patch record
+#: leaves the store entirely; see SharedPatchStore.rollback).
+STAGE_ORDER = {STAGED: 0, CANARY: 1, VALIDATING: 2, FLEET_WIDE: 3}
+
+#: Stages only a canary process may adopt.
+CANARY_ONLY_STAGES = (STAGED, CANARY, VALIDATING)
+
+
+def stage_of(payload: dict) -> str:
+    """The rollout stage of one store patch payload.  A record with no
+    ``rollout`` envelope predates (or opted out of) staged rollout and
+    is treated as fleet-wide -- exactly the pre-rollout semantics, so
+    a rollout-disabled fleet behaves byte-identically to one that
+    never heard of stages."""
+    rollout = payload.get("rollout")
+    if not isinstance(rollout, dict):
+        return FLEET_WIDE
+    stage = str(rollout.get("stage", FLEET_WIDE))
+    return stage if stage in STAGE_ORDER else FLEET_WIDE
+
+
+def canary_bucket(process_label: str) -> float:
+    """Deterministic bucket in [0, 1) for a fleet identity."""
+    digest = hashlib.sha256(process_label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def is_canary(process_label: str, fraction: float) -> bool:
+    """Whether this process belongs to the canary cohort.  Monotonic
+    in ``fraction``: growing the cohort never evicts a member."""
+    if fraction >= 1.0:
+        return True
+    if fraction <= 0.0:
+        return False
+    return canary_bucket(process_label) < fraction
+
+
+def pick_labels(canaries: int, others: int, fraction: float,
+                prefix: str = "node") -> Tuple[List[str], List[str]]:
+    """Scan ``prefix-0``, ``prefix-1``, ... until ``canaries`` canary
+    labels and ``others`` non-canary labels are found.  Pure, so the
+    fleet benches (serial and forked) cast identical fleets."""
+    canary_labels: List[str] = []
+    other_labels: List[str] = []
+    i = 0
+    while len(canary_labels) < canaries or len(other_labels) < others:
+        label = f"{prefix}-{i}"
+        i += 1
+        if is_canary(label, fraction):
+            if len(canary_labels) < canaries:
+                canary_labels.append(label)
+        elif len(other_labels) < others:
+            other_labels.append(label)
+        if i > 100_000:
+            raise ValueError(
+                f"could not cast {canaries} canaries / {others} others "
+                f"at fraction {fraction}")
+    return canary_labels, other_labels
+
+
+@dataclass
+class RolloutConfig:
+    """Promotion gates, all in simulated time (determinism)."""
+
+    #: Fraction of the fleet (by label hash) that adopts pre-fleet-wide
+    #: patches.  The paper-adjacent default: a quarter of the fleet
+    #: takes the risk, three quarters stay shielded.
+    canary_fraction: float = 0.25
+    #: Minimum canary exposure (max over the cohort of beacon time
+    #: minus adoption time) before CANARY may advance to VALIDATING.
+    min_observe_ns: int = 200_000_000
+    #: Highest tolerated post-adoption failure rate over the canary
+    #: cohort (failures attributed after the patch was live, divided
+    #: by cohort size).  0.0: any post-adopt failure rolls back.
+    max_failure_rate: float = 0.0
+    #: Latency-tail ceiling: the canary cohort's merged request-latency
+    #: p99 must stay at or below this for VALIDATING -> FLEET_WIDE.
+    max_latency_p99_ns: int = 10_000_000_000
+    #: Canary evidence floor: STAGED waits until at least this many
+    #: cohort members report the patch.
+    min_canary_processes: int = 1

@@ -26,6 +26,25 @@ plus the patch-specific merge semantics:
   their next refresh instead of resurrecting it into the union.  A
   later re-publish of the same key (the bug was re-diagnosed) clears
   the tombstone.
+* **Rollout stages** (schema v2, DESIGN.md §14): a patch payload may
+  carry a ``rollout`` envelope (``{"stage": ..., "since_ns": ...}``).
+  Records without one are fleet-wide -- the exact pre-rollout
+  semantics, so a rollout-disabled fleet reads and writes byte-
+  compatible stores.  Stages advance along the
+  :data:`~repro.rollout.machine.STAGE_ORDER` lattice only
+  (:meth:`SharedPatchStore.set_stage` is advance-only, so concurrent
+  controllers converge).  :meth:`SharedPatchStore.rollback` is
+  retraction plus a durable ``rolled_back`` record: the record blocks
+  plain re-publishes from resurrecting the key (publishing a
+  rolled-back key needs an explicit ``restage=True`` -- a fresh
+  re-diagnosis re-entering at STAGED), and lets every process refuse
+  the key for the rest of its session.
+
+Empty-iterable ``publish()`` / ``retract()`` calls return the current
+state without touching the file or the ``publishes`` /
+``retractions`` counters, and any mutation that leaves the merged
+state unchanged skips the commit entirely (see
+:class:`~repro.store.base.SharedStateChannel`).
 
 Fault injection (:mod:`repro.store.faults`) drives all three failure
 modes deliberately; ``benchmarks/bench_fleet_prevention.py`` gates that
@@ -35,15 +54,23 @@ injected faults lose zero validated patches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.patches import PatchPool, RuntimePatch
+from repro.rollout.machine import (
+    CANARY_ONLY_STAGES,
+    FLEET_WIDE,
+    STAGE_ORDER,
+    stage_of,
+)
 from repro.store.base import SharedStateChannel
 from repro.store.faults import FaultPlan
 from repro.store.locking import DEFAULT_STALE_AFTER
 
 STORE_FORMAT = "first-aid-patch-store"
-STORE_VERSION = 1
+#: v2 added rollout envelopes + the ``rolled_back`` map.  v1 files
+#: load fine (both default empty); readers reject anything newer.
+STORE_VERSION = 2
 
 
 @dataclass
@@ -56,6 +83,10 @@ class StoreState:
     patches: Dict[str, dict] = field(default_factory=dict)
     #: patch_key -> generation at which the patch was retracted
     retracted: Dict[str, int] = field(default_factory=dict)
+    #: patch_key -> rollback record ({"count", "time_ns",
+    #: "generation", "reason"}).  Durable across re-publishes: only an
+    #: explicit restage (re-diagnosis) re-enters the key at STAGED.
+    rolled_back: Dict[str, dict] = field(default_factory=dict)
 
     def to_json(self) -> dict:
         return {
@@ -65,6 +96,7 @@ class StoreState:
             "generation": self.generation,
             "patches": self.patches,
             "retracted": self.retracted,
+            "rolled_back": self.rolled_back,
         }
 
     @classmethod
@@ -82,6 +114,8 @@ class StoreState:
                      for k, v in dict(payload["patches"]).items()},
             retracted={str(k): int(v)
                        for k, v in dict(payload["retracted"]).items()},
+            rolled_back={str(k): dict(v) for k, v in
+                         dict(payload.get("rolled_back", {})).items()},
         )
 
     def runtime_patches(self) -> List[RuntimePatch]:
@@ -90,6 +124,15 @@ class StoreState:
     def validated_keys(self) -> List[str]:
         return [k for k, p in self.patches.items()
                 if p.get("validated", False)]
+
+    def stages(self) -> Dict[str, str]:
+        """patch_key -> rollout stage, including terminal
+        ``rolled_back`` entries (whose patch records are gone)."""
+        out = {key: stage_of(payload)
+               for key, payload in self.patches.items()}
+        for key in self.rolled_back:
+            out.setdefault(key, "rolled_back")
+        return out
 
 
 class SharedPatchStore(SharedStateChannel):
@@ -106,6 +149,8 @@ class SharedPatchStore(SharedStateChannel):
         #: Diagnostics for tests, the fleet benchmark, and telemetry.
         self.publishes = 0
         self.retractions = 0
+        self.promotions = 0
+        self.rollbacks = 0
 
     def _empty_state(self) -> StoreState:
         return StoreState(self.program_name or "")
@@ -117,21 +162,44 @@ class SharedPatchStore(SharedStateChannel):
     # the protocol: publish / retract / refresh
     # ------------------------------------------------------------------
 
-    def publish(self,
-                patches: Iterable[RuntimePatch]) -> StoreState:
+    def publish(self, patches: Iterable[RuntimePatch],
+                stage: Optional[str] = None,
+                restage: bool = False) -> StoreState:
         """Merge ``patches`` into the store (union by patch key, max
         trigger count, sticky validated flag).  Publishing a tombstoned
         key clears the tombstone: the publisher re-diagnosed the bug,
-        which outranks a stale retraction."""
+        which outranks a stale retraction.
+
+        ``stage`` (a :data:`~repro.rollout.machine.STAGE_ORDER` name)
+        wraps *newly created* records in a rollout envelope at that
+        stage; existing records keep their envelope untouched (merges
+        never regress a stage).  ``None`` keeps the legacy fleet-wide
+        behavior, byte-compatible with pre-rollout stores.
+
+        A key with a ``rolled_back`` record is *not* re-created by a
+        plain publish (the fleet decided the patch hurts); counts
+        still merge into a record someone already restaged.  Passing
+        ``restage=True`` -- a fresh re-diagnosis -- re-enters the key
+        at ``stage`` and starts a new canary cycle."""
         incoming = list(patches)
+        if not incoming:
+            return self.load()
 
         def merge(state: StoreState) -> StoreState:
             for patch in incoming:
                 key = patch.key
-                state.retracted.pop(key, None)
-                mine = patch.to_json()
                 cur = state.patches.get(key)
+                if cur is None and key in state.rolled_back \
+                        and not restage:
+                    continue
+                state.retracted.pop(key, None)
                 if cur is None:
+                    mine = patch.to_json()
+                    if stage is not None:
+                        mine["rollout"] = {
+                            "stage": stage,
+                            "since_ns": patch.created_time_ns,
+                        }
                     state.patches[key] = mine
                     continue
                 cur["trigger_count"] = max(
@@ -152,6 +220,8 @@ class SharedPatchStore(SharedStateChannel):
         patch that failed validation is wrong *everywhere*, not just in
         the process that noticed)."""
         keys = [p.key for p in patches]
+        if not keys:
+            return self.load()
 
         def remove(state: StoreState) -> StoreState:
             for key in keys:
@@ -163,16 +233,97 @@ class SharedPatchStore(SharedStateChannel):
         self.retractions += 1
         return state
 
-    def sync_into(self, pool: PatchPool) -> Tuple[bool, int]:
+    def set_stage(self, key: str, stage: str,
+                  time_ns: int = 0) -> StoreState:
+        """Advance one patch's rollout stage (promotion controller's
+        write path).  Advance-only along the stage lattice: a request
+        at or below the committed stage is a no-op, so concurrent
+        controllers merging through the lock converge instead of
+        flapping.  Unknown keys are a no-op too (the patch was
+        retracted or rolled back in the meantime -- the tombstone
+        wins)."""
+        if stage not in STAGE_ORDER:
+            raise ValueError(f"unknown rollout stage {stage!r}")
+
+        def advance(state: StoreState) -> StoreState:
+            cur = state.patches.get(key)
+            if cur is None:
+                return state
+            rollout = cur.get("rollout")
+            if not isinstance(rollout, dict):
+                # A legacy record is already fleet-wide; nothing to
+                # advance.
+                return state
+            have = stage_of(cur)
+            if STAGE_ORDER[stage] > STAGE_ORDER[have]:
+                rollout["stage"] = stage
+                rollout["since_ns"] = time_ns
+            return state
+
+        state = self._mutate(advance)
+        self.promotions += 1
+        return state
+
+    def rollback(self, keys: Iterable[str], time_ns: int = 0,
+                 reason: str = "") -> StoreState:
+        """Terminal rollback: retract the keys (remove + tombstone, so
+        canaries drop them on refresh) *and* write a durable
+        ``rolled_back`` record that blocks plain re-publishes and lets
+        every process refuse the key for the rest of its session."""
+        wanted = list(keys)
+        if not wanted:
+            return self.load()
+
+        def remove(state: StoreState) -> StoreState:
+            for key in wanted:
+                state.patches.pop(key, None)
+                state.retracted[key] = state.generation + 1
+                prior = state.rolled_back.get(key)
+                state.rolled_back[key] = {
+                    "count": (int(prior.get("count", 0)) + 1
+                              if prior else 1),
+                    "time_ns": time_ns,
+                    "generation": state.generation + 1,
+                    "reason": reason,
+                }
+            return state
+
+        state = self._mutate(remove)
+        self.rollbacks += 1
+        return state
+
+    def sync_into(self, pool: PatchPool,
+                  canary: Optional[bool] = None,
+                  blocked: Optional[Set[str]] = None
+                  ) -> Tuple[bool, StoreState]:
         """Pull the store into a local pool: drop tombstoned patches,
-        absorb everything else.  Returns (pool changed?, store
-        generation) so callers can refresh policies and remember the
-        generation they are current with."""
+        absorb what this process is entitled to.  Returns (pool
+        changed?, loaded state) so callers can refresh policies and
+        read the generation/stages they are now current with.
+
+        ``canary=None`` (rollout disabled) absorbs every record --
+        the legacy behavior.  ``canary=False`` absorbs only fleet-wide
+        records (staged/canary/validating patches must never reach a
+        non-canary process); ``canary=True`` additionally absorbs the
+        pre-fleet-wide stages.  ``blocked`` keys (e.g. patches this
+        session saw rolled back) are never absorbed regardless."""
         state = self.load()
         changed = False
         for key in state.retracted:
             if pool.remove_key(key) is not None:
                 changed = True
-        if pool.absorb(state.runtime_patches()):
+        adoptable: List[RuntimePatch] = []
+        for key in sorted(state.patches):
+            if blocked and key in blocked:
+                continue
+            if canary is not None:
+                key_stage = stage_of(state.patches[key])
+                if key_stage != FLEET_WIDE \
+                        and (not canary
+                             or key_stage not in CANARY_ONLY_STAGES):
+                    continue
+            adoptable.append(RuntimePatch.from_json(
+                state.patches[key]))
+        if pool.absorb(adoptable):
             changed = True
-        return changed, state.generation
+        return changed, state

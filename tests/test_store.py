@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.bugtypes import BugType
 from repro.core.patches import PatchPool, RuntimePatch, patch_key
-from repro.errors import StoreError, StoreLockTimeout
+from repro.errors import StoreLockTimeout
 from repro.store import FaultPlan, FileLock, SharedPatchStore, TornWriteCrash
 from repro.util.callsite import CallSite
 
@@ -60,11 +60,21 @@ class TestStoreBasics:
             gens.append(store.publish([patch]).generation)
         assert gens == [1, 2, 3, 4]
 
-    def test_program_mismatch_raises_store_error(self, store_path):
+    def test_program_mismatch_quarantines_instead_of_raising(
+            self, store_path):
+        # A store owned by another program is treated like corruption:
+        # quarantine the file and start fresh, never raise into the
+        # monitored process (DESIGN.md §9).
         SharedPatchStore(store_path, "alpha").publish(
             [make_patch(PatchPool("alpha"))])
-        with pytest.raises(StoreError):
-            SharedPatchStore(store_path, "beta").load()
+        beta = SharedPatchStore(store_path, "beta")
+        state = beta.load()
+        assert state.patches == {} and state.generation == 0
+        # both the primary and its .bak mirror belong to alpha
+        assert beta.mismatches == 2
+        quarantined = [n for n in os.listdir(os.path.dirname(store_path))
+                       if ".quarantined." in n]
+        assert len(quarantined) >= 1
 
 
 class TestMergeOnWrite:
@@ -106,13 +116,13 @@ class TestMergeOnWrite:
         store.publish([make_patch(PatchPool("app"), triggers=7,
                                   validated=True)])
         local = PatchPool("app")
-        changed, gen = store.sync_into(local)
-        assert changed and gen == 1
+        changed, state = store.sync_into(local)
+        assert changed and state.generation == 1
         assert len(local) == 1
         assert local.patches()[0].trigger_count == 7
         # a second sync with nothing new is a no-op
-        changed, gen = store.sync_into(local)
-        assert not changed and gen == 1
+        changed, state = store.sync_into(local)
+        assert not changed and state.generation == 1
 
 
 class TestRetraction:
@@ -277,6 +287,71 @@ class TestFileLock:
         lock.acquire()
         os.unlink(path)
         lock.release()   # must not raise
+
+
+class TestChannelContracts:
+    """The shared-channel bug scrub: no-op mutations must not commit,
+    empty batches must not count, generation() must be cheap."""
+
+    def test_identical_republish_is_noop_commit(self, store_path):
+        store = SharedPatchStore(store_path, "app")
+        patch = make_patch(PatchPool("app"), triggers=5, validated=True)
+        store.publish([patch])
+        assert store.commits == 1
+        before = open(store_path, "rb").read()
+        # same payload again: merged state unchanged -> no commit, no
+        # generation churn, file bytes untouched
+        state = store.publish([patch])
+        assert state.generation == 1
+        assert store.commits == 1
+        assert store.noop_mutations == 1
+        assert open(store_path, "rb").read() == before
+
+    def test_empty_publish_and_retract_do_not_count(self, store_path):
+        store = SharedPatchStore(store_path, "app")
+        state = store.publish([])
+        assert state.generation == 0
+        state = store.retract([])
+        assert state.generation == 0
+        assert store.publishes == 0
+        assert store.retractions == 0
+        assert store.commits == 0
+        assert not os.path.exists(store_path)
+
+    def test_generation_cached_by_stat(self, store_path, monkeypatch):
+        store = SharedPatchStore(store_path, "app")
+        store.publish([make_patch(PatchPool("app"))])
+        assert store.generation() == 1
+
+        def exploding_load():
+            raise AssertionError("generation() re-parsed an "
+                                 "unchanged file")
+
+        # unchanged (mtime_ns, size) signature -> served from cache,
+        # load() never called
+        monkeypatch.setattr(store, "load", exploding_load)
+        assert store.generation() == 1
+        monkeypatch.undo()
+        # a real commit invalidates the cache
+        store.publish([make_patch(PatchPool("app"),
+                                  frames=(("g", 2),))])
+        assert store.generation() == 2
+
+    def test_idle_refresh_cycle_commits_nothing(self, store_path):
+        """An idle fleet polling the store must not churn the file:
+        repeated syncs and identical republished counts are free."""
+        store = SharedPatchStore(store_path, "app")
+        patch = make_patch(PatchPool("app"), triggers=3, validated=True)
+        store.publish([patch])
+        commits_before = store.commits
+        local = PatchPool("app")
+        for _ in range(5):
+            store.sync_into(local)      # read-only
+            store.publish([patch])      # identical counts -> no-op
+            store.generation()          # cached stat
+        assert store.commits == commits_before
+        assert store.noop_mutations == 5
+        assert store.load().generation == 1
 
 
 # ---------------------------------------------------------------------
