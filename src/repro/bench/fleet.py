@@ -97,18 +97,19 @@ class FleetRunResult:
                 and self.followers_prevented)
 
 
-def _fleet_process(spec: Tuple[int, str, str, str, int, int]
+def _fleet_process(spec: Tuple[int, str, str, str, int, int, int]
                    ) -> FleetProcessReport:
     """Run one fleet member.  Module-level so it ships to forked
     worker processes."""
-    index, role, app_name, store_path, triggers, seed = spec
+    index, role, app_name, store_path, triggers, seed, rate = spec
     app = get_app(app_name)
     wl = spaced_workload(app, triggers=triggers, seed=seed)
     # Deterministic fleet identity: beacons keyed "leader-0" /
     # "follower-2" aggregate byte-identically whether the fleet ran
     # forked or serial (pids never enter the health plane).
     config = FirstAidConfig(store_path=store_path,
-                            process_label=f"{role}-{index}")
+                            process_label=f"{role}-{index}",
+                            sampling_rate=rate)
     runtime = FirstAidRuntime(app.program(), input_tokens=wl.tokens,
                               config=config)
     started = time.perf_counter()
@@ -129,10 +130,13 @@ def _fleet_process(spec: Tuple[int, str, str, str, int, int]
 
 
 def run_fleet(app_name: str, store_path: str, procs: int = 4,
-              triggers: int = 2) -> FleetRunResult:
+              triggers: int = 2,
+              leader_sampling_rate: int = 0) -> FleetRunResult:
     """The staged fleet experiment for one app: the leader process
     diagnoses and publishes, then ``procs - 1`` follower processes run
-    the same workload concurrently against the shared store."""
+    the same workload concurrently against the shared store.  A
+    nonzero ``leader_sampling_rate`` arms the leader with sampled
+    always-on detection; followers always run unsampled."""
     if procs < 2:
         raise ValueError("a fleet needs at least 2 processes")
     import multiprocessing as mp
@@ -145,11 +149,12 @@ def run_fleet(app_name: str, store_path: str, procs: int = 4,
     with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
         leader = pool.submit(
             _fleet_process,
-            (0, "leader", app_name, store_path, triggers, 42)).result()
+            (0, "leader", app_name, store_path, triggers, 42,
+             leader_sampling_rate)).result()
 
     # Stage 2: the rest of the fleet, concurrently, one OS process
     # each.  Distinct workload seeds: same bug, different traffic.
-    specs = [(i, "follower", app_name, store_path, triggers, 42 + i)
+    specs = [(i, "follower", app_name, store_path, triggers, 42 + i, 0)
              for i in range(1, procs)]
     with ProcessPoolExecutor(max_workers=len(specs),
                              mp_context=ctx) as pool:
@@ -168,20 +173,23 @@ def run_fleet(app_name: str, store_path: str, procs: int = 4,
 
 
 def run_fleet_serial(app_name: str, store_path: str, procs: int = 4,
-                     triggers: int = 2) -> FleetRunResult:
+                     triggers: int = 2,
+                     leader_sampling_rate: int = 0) -> FleetRunResult:
     """The exact experiment of :func:`run_fleet` with every member run
     sequentially in this host process: same roles, labels, seeds, and
     store protocol, no forking.  Exists for the health determinism
     gate -- the fleet health report aggregated from a serial run must
     be byte-identical to the forked run's, which it can only be if
-    beacons carry nothing host-dependent."""
+    beacons carry nothing host-dependent (and, with a sampled leader,
+    only if sample selection is backend-independent)."""
     if procs < 2:
         raise ValueError("a fleet needs at least 2 processes")
     leader = _fleet_process(
-        (0, "leader", app_name, store_path, triggers, 42))
+        (0, "leader", app_name, store_path, triggers, 42,
+         leader_sampling_rate))
     followers = [
         _fleet_process(
-            (i, "follower", app_name, store_path, triggers, 42 + i))
+            (i, "follower", app_name, store_path, triggers, 42 + i, 0))
         for i in range(1, procs)]
     store = SharedPatchStore(store_path, get_app(app_name).program().name)
     state = store.load()

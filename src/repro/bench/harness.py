@@ -245,7 +245,8 @@ def run_app_session(app_name: str, triggers: int = 2,
                     vm_tier: str = "reference",
                     search_policy: str = "fixed",
                     rollout: bool = False,
-                    store_path: Optional[str] = None) -> SessionDigest:
+                    store_path: Optional[str] = None,
+                    sampling_rate: int = 0) -> SessionDigest:
     """Run one app under First-Aid and digest the session.  Top-level
     (and addressed by app *name*) so the call itself can ship to a
     worker process when benchmark sessions fan out.
@@ -253,7 +254,11 @@ def run_app_session(app_name: str, triggers: int = 2,
     ``rollout`` (with a ``store_path``) turns on staged rollout for
     the session; the rollout bench gates that the digest's
     equivalence/diagnosis keys match the rollout-off run exactly --
-    staged distribution must never change what a session diagnoses."""
+    staged distribution must never change what a session diagnoses.
+
+    ``sampling_rate`` arms GWP-ASan-style sampled guards (DESIGN.md
+    §15); the sampling bench gates that ``sampling_rate=0`` digests
+    stay byte-identical to this function's defaults."""
     import time as _time
 
     app = {a.name: a for a in all_apps()}[app_name]
@@ -261,7 +266,8 @@ def run_app_session(app_name: str, triggers: int = 2,
     config = FirstAidConfig(workers=workers, telemetry=telemetry,
                             supervisor=supervisor, vm_tier=vm_tier,
                             search_policy=search_policy,
-                            rollout=rollout, store_path=store_path)
+                            rollout=rollout, store_path=store_path,
+                            sampling_rate=sampling_rate)
     started = _time.perf_counter()
     runtime, session, _ = run_first_aid(app, wl, config=config)
     wall = _time.perf_counter() - started

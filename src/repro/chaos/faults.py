@@ -41,6 +41,13 @@ failures.  Each kind names one injection point:
     The recovery supervisor's next inter-rung budget check sees the
     per-failure budget exhausted mid-recovery, forcing the jump to the
     restart floor.
+
+``sampled_false_positive``
+    The next sampled guarded free raises a guard hit even though the
+    object's canaries are intact -- a false detection on a correct
+    program.  Validation must reject the resulting fast-path patch
+    (the unpatched baseline passes), retract it, and execution must
+    continue un-degraded.
 """
 
 from __future__ import annotations
@@ -71,6 +78,7 @@ class ChaosPlan(FaultPlan):
         "monitor_miss",
         "validation_flaky",
         "budget_exhaust",
+        "sampled_false_positive",
     )
 
     def __init__(self, probe_timeout_ns: int = DEFAULT_PROBE_TIMEOUT_NS):

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from repro.checkpoint.snapshot import Checkpoint, pages_between
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, SampledGuardFault
 from repro.heap.base import PAGE_SIZE
 from repro.process import Process
 from repro.util.events import EventLog
@@ -325,6 +325,34 @@ class CheckpointManager:
                 self.take_checkpoint()
                 if self.on_boundary is not None:
                     self.on_boundary()
+                fault = self._sweep_sampled_guards()
+                if fault is not None:
+                    return RunResult(RunReason.FAULT, fault)
+
+    def _sweep_sampled_guards(self):
+        """Boundary sweep of sampled guards (DESIGN.md §15): scan the
+        guarded objects' redzones and free canaries right after each
+        checkpoint.  A hit freezes the machine on the guard fault --
+        exactly the state an in-run fault leaves -- so the failure
+        flows through the ordinary monitor/diagnosis path.  A no-op
+        (one attribute check) unless a sampler is attached and active.
+        """
+        extension = self.process.extension
+        if extension.sampler is None:
+            return None
+        try:
+            extension.check_sampled_guards()
+        except SampledGuardFault as fault:
+            machine = self.process.machine
+            if fault.instr_id is None:
+                frame = machine.frames[-1]
+                fault.instr_id = (frame.func.name, frame.pc)
+            machine.fault = fault
+            self.events.emit(self.process.clock.now_ns,
+                             "sampling.guard_hit",
+                             detail=fault.describe())
+            return fault
+        return None
 
     # ------------------------------------------------------------------
 

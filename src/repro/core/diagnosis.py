@@ -306,6 +306,13 @@ class DiagnosticEngine:
             from repro.search.state import SearchState
             search = SearchState()
         self.search = search
+        #: Disable the phase-1a "plain replay must reproduce" prune.
+        #: The fallback after a rejected sampled fast path sets this:
+        #: the failing run carried a guard the plain replay lacks, so
+        #: the prune's premise does not hold there -- a guard false
+        #: positive must reach the plain probe to read as
+        #: NONDETERMINISTIC.
+        self.force_plain_probe = False
         self._rollbacks = 0
         self._probes_executed = 0
         self._probes_consumed = 0
@@ -344,6 +351,62 @@ class DiagnosticEngine:
                      arms_pruned=self._arms_pruned)
             return diag
 
+    def diagnose_sampled(self, failure: FailureEvent) -> Diagnosis:
+        """Fast-path diagnosis from a sampled guard hit (DESIGN.md
+        §15).  The guard already captured the bug type and the
+        responsible call-site, so phases 1 and 2 are skipped entirely:
+        the change-group is seeded straight from the detection
+        evidence and a patch minted at the attributed site.  The
+        rollback target is the oldest checkpoint within one
+        failure-region window -- a guard-caught bug's trigger lies at
+        most that far behind detection (the Section 4.1 reasoning the
+        full pipeline applies forward).  Validation is the safety
+        net: the caller falls back to the full pipeline when it
+        rejects the detection-seeded patch."""
+        det = failure.detection
+        self._m_policy.set(_POLICY_CODES[self.search.policy])
+        with self.telemetry.span("diagnosis.sampled") as span:
+            diag = Diagnosis(verdict=Verdict.NON_PATCHABLE,
+                             failure=failure)
+            self.events.emit(self.process.clock.now_ns,
+                             "diagnosis.start",
+                             failure=failure.describe(), sampled=True)
+            candidates = self.manager.recent(self.window_intervals + 1)
+            if det is None or det.site is None or not candidates:
+                diag.notes.append(
+                    "sampled detection lacks attribution or "
+                    "checkpoints; full pipeline required")
+                span.set(verdict=diag.verdict.value, fast_path=True)
+                return diag
+            checkpoint = candidates[-1]   # oldest within the window
+            diag.checkpoint = checkpoint
+            diag.bug_types = [det.bug_type]
+            evidence = Evidence(det.bug_type, [det.site])
+            evidence.details = [det.describe()]
+            diag.evidence[det.bug_type] = evidence
+            now = self.process.clock.now_ns
+            patch = self.pool.new_patch(det.bug_type, det.site, now)
+            diag.patches = [patch]
+            diag.verdict = Verdict.PATCHED
+            diag.notes.append(
+                "sampled fast path: change-group seeded from the "
+                "guard's detection evidence (phases 1-2 skipped)")
+            diag.search_info = {
+                "policy": self.search.policy,
+                "probes_executed": 0,
+                "probes_consumed": 0,
+                "probes_pruned": 0,
+                "arms_pruned": 0,
+                "fast_path": True,
+            }
+            self.events.emit(
+                self.process.clock.now_ns, "diagnosis.sampled_fast_path",
+                bug_type=det.bug_type.value, site=repr(det.site),
+                checkpoint=checkpoint.index)
+            span.set(verdict=diag.verdict.value, fast_path=True)
+            self._log_done(diag)
+            return diag
+
     def _diagnose(self, failure: FailureEvent) -> Diagnosis:
         window_end = (failure.instr_count
                       + self.window_intervals * self.manager.interval)
@@ -370,7 +433,8 @@ class DiagnosticEngine:
         # With an empty patch pool the production run *was* the plain
         # policy over the same journal, so for a deterministic program
         # this probe must reproduce the failure -- skip it.
-        if static_ok and len(self.pool) == 0:
+        if static_ok and len(self.pool) == 0 \
+                and not self.force_plain_probe:
             self._note_pruned(
                 diag, "1a", "deterministic program with empty patch "
                 "pool: plain re-execution must reproduce the failure")

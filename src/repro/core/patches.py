@@ -313,6 +313,12 @@ class PatchPolicy(ChangePolicy):
         """Re-read the pool after patches were added or removed."""
         self._rebuild()
 
+    def has_patch(self, bug_type: BugType, point: CallSite) -> bool:
+        """True when a patch for exactly this (bug type, site) already
+        exists.  The sampling plane asks before raising a guard hit:
+        an already-patched bug must not re-enter the pipeline."""
+        return self._pool.find(bug_type, point) is not None
+
     def frozen_copy(self) -> "PatchPolicy":
         """A policy over a frozen copy of the pool (see
         :meth:`PatchPool.copy`): clones and workers must not observe

@@ -187,6 +187,16 @@ class FirstAidConfig:
     #: stage writes merge monotonically -- but benches typically
     #: designate one.
     rollout_controller: bool = False
+    #: Sampled always-on detection (repro.sampling, DESIGN.md §15).
+    #: 0 (default) attaches nothing: every code path is byte-identical
+    #: to the pre-sampling behaviour.  N > 0 promotes every ~1/N
+    #: production allocations (deterministically, via the process
+    #: entropy salt) to a guarded allocation -- redzone canaries on
+    #: both sides, delayed free with canary fill -- so a latent memory
+    #: bug is caught at the guard *before* it can crash the process.
+    #: A guard hit carries bug type and call-site, letting diagnosis
+    #: take the fast path (:meth:`DiagnosticEngine.diagnose_sampled`).
+    sampling_rate: int = 0
 
 
 @dataclass
@@ -260,6 +270,10 @@ class FirstAidRuntime:
         self.health = None
         self._health_seq = 0
         self._retractions = 0
+        #: Sampled detections that ended in a validated patch: bugs
+        #: caught and fixed *before* any crash (the fleet report's
+        #: "prevented" column).
+        self._sampled_prevented = 0
         self._process_label = (self.config.process_label
                                or f"{program.name}#{os.getpid()}")
         #: Rollout state (repro.rollout, DESIGN.md §14).  All sim-time.
@@ -293,6 +307,7 @@ class FirstAidRuntime:
             quarantine_threshold=self.config.quarantine_threshold,
             entropy_seed=self.config.entropy_seed,
             vm_tier=self.config.vm_tier,
+            sampling_rate=self.config.sampling_rate,
         )
         #: The session's base cost model, kept for restart respawns (a
         #: chaos fault could interrupt an engine mid cost-model swap).
@@ -301,6 +316,8 @@ class FirstAidRuntime:
         self.process.extension.policy = self.policy
         self.process.extension.patch_memory_limit = \
             self.config.max_patch_memory
+        if self.config.chaos is not None:
+            self.process.extension.sampling_chaos = self.config.chaos
         self.process.attach_telemetry(self.telemetry)
         if self.telemetry.enabled:
             self.events.tap = self.telemetry.recorder.record_event
@@ -557,6 +574,14 @@ class FirstAidRuntime:
         for time_ns, _ in self.process.output.entries():
             latency.observe(time_ns - prev)
             prev = time_ns
+        sampling = {}
+        stats = self.process.extension.sampling_stats
+        if self.config.sampling_rate > 0 and stats is not None:
+            # Only serialized when sampling is on, so pre-sampling
+            # beacons stay byte-identical.
+            sampling = stats.to_dict()
+            sampling["rate"] = self.config.sampling_rate
+            sampling["prevented"] = self._sampled_prevented
         self._health_seq += 1
         return HealthBeacon(
             canary=self._canary if self.config.rollout else False,
@@ -574,6 +599,7 @@ class FirstAidRuntime:
             patches=patches,
             recovery_ns=recovery.to_snapshot(),
             latency_ns=latency.to_snapshot(),
+            sampling=sampling,
         )
 
     def _health_publish(self, reason: str) -> None:
@@ -709,10 +735,21 @@ class FirstAidRuntime:
         with self.telemetry.span("recovery",
                                  failure=failure.describe()) as span:
             started = time.perf_counter()
-            if self.config.supervisor:
-                record = self._supervisor().handle(failure)
-            else:
-                record = self._handle_failure_traced(failure)
+            # Guard *raising* pauses for the whole recovery: rollback
+            # replays a window the guards already saw once, and a fresh
+            # guard hit mid-replay would fail the rung and walk the
+            # ladder.  Selection, promotion, and accounting continue --
+            # rollback restores the work counters, so the replay is
+            # counted exactly once, and the recovered run stays guarded.
+            # (_respawn may swap the process; unpause the current one.)
+            self.process.extension.sampling_paused = True
+            try:
+                if self.config.supervisor:
+                    record = self._supervisor().handle(failure)
+                else:
+                    record = self._handle_failure_traced(failure)
+            finally:
+                self.process.extension.sampling_paused = False
             record.wall_s = time.perf_counter() - started
             span.set(succeeded=record.succeeded,
                      recovery_time_ns=record.recovery_time_ns)
@@ -757,14 +794,17 @@ class FirstAidRuntime:
             entropy_seed=self.config.entropy_seed,
             output=old.output,
             vm_tier=self.config.vm_tier,
+            sampling_rate=self.config.sampling_rate,
         )
         self.process.extension.patch_memory_limit = \
             self.config.max_patch_memory
+        if self.config.chaos is not None:
+            self.process.extension.sampling_chaos = self.config.chaos
         self.process.attach_telemetry(self.telemetry)
         self.manager = self._make_manager()
 
-    def _handle_failure_traced(self,
-                               failure: FailureEvent) -> RecoveryRecord:
+    def _handle_failure_traced(self, failure: FailureEvent,
+                               fast_path: bool = True) -> RecoveryRecord:
         record = RecoveryRecord(failure=failure)
         t_start = self.process.clock.now_ns
         diag_log = EventLog(max_events=self.config.max_events)
@@ -777,10 +817,27 @@ class FirstAidRuntime:
             executor=self.executor,
             chaos=self.config.chaos,
             search=self.search)
-        diagnosis = engine.diagnose(failure)
+        detection = failure.detection
+        use_fast = (fast_path and detection is not None
+                    and getattr(detection, "site", None) is not None)
+        if detection is not None and not use_fast:
+            # Fallback after a rejected fast path (or a detection with
+            # no attribution): the failing run carried a guard the
+            # plain replay lacks, so "plain re-execution must reproduce
+            # the failure" does not hold -- run phase 1a for real.  A
+            # guard false positive then reads NONDETERMINISTIC and the
+            # session continues un-degraded.
+            engine.force_plain_probe = True
+        diagnosis = (engine.diagnose_sampled(failure) if use_fast
+                     else engine.diagnose(failure))
         record.diagnosis = diagnosis
         for event in diag_log:
             self.events.emit(event.time_ns, event.kind, **event.data)
+
+        if use_fast and diagnosis.verdict is not Verdict.PATCHED:
+            # The fast path could not mint a patch (no checkpoint, no
+            # usable attribution); run the full pipeline instead.
+            return self._handle_failure_traced(failure, fast_path=False)
 
         if diagnosis.verdict is Verdict.NONDETERMINISTIC:
             # The plain re-execution already carried the program past
@@ -806,6 +863,25 @@ class FirstAidRuntime:
         record.recovery_time_ns = self.process.clock.now_ns - t_start
         record.succeeded = recovered
         if not recovered:
+            if use_fast:
+                # The detection-seeded patch did not carry the replay
+                # past the failure region (the guard caught a different
+                # instance than the crash, or the attribution missed).
+                # Retract it and run the full two-phase pipeline before
+                # letting the ladder escalate.
+                for patch in diagnosis.patches:
+                    self.pool.remove(patch.patch_id)
+                self.policy.refresh()
+                self.events.emit(self.process.clock.now_ns,
+                                 "sampling.fast_path_rejected",
+                                 reasons=["patched re-execution failed"])
+                fallback = self._handle_failure_traced(
+                    failure, fast_path=False)
+                fallback.recovery_time_ns += record.recovery_time_ns
+                fallback.notes.insert(
+                    0, "sampled fast-path patch did not stop the "
+                    "failure region; fell back to the full pipeline")
+                return fallback
             record.notes.append("patched re-execution failed again")
             return record
         self.events.emit(self.process.clock.now_ns, "recovery.done",
@@ -833,7 +909,8 @@ class FirstAidRuntime:
         if self.config.validate and diagnosis.checkpoint is not None:
             validation = self.validator.validate(
                 self.process, diagnosis.checkpoint, self.pool,
-                window_end, under_test=diagnosis.patches)
+                window_end, under_test=diagnosis.patches,
+                fast_path=use_fast)
             record.validation = validation
             if not validation.consistent:
                 # The validator already retracted them from the shared
@@ -848,7 +925,28 @@ class FirstAidRuntime:
                 record.notes.append(
                     "validation failed; patches removed: "
                     + "; ".join(validation.reasons))
+                if use_fast:
+                    # Validation rejected the detection-seeded patch:
+                    # fall back to the full two-phase pipeline.  A
+                    # guard false positive ends NONDETERMINISTIC there
+                    # and the session continues un-degraded.
+                    self.events.emit(self.process.clock.now_ns,
+                                     "sampling.fast_path_rejected",
+                                     reasons=validation.reasons)
+                    fallback = self._handle_failure_traced(
+                        failure, fast_path=False)
+                    fallback.recovery_time_ns += record.recovery_time_ns
+                    fallback.notes.insert(
+                        0, "sampled fast-path patch rejected by "
+                        "validation; fell back to the full pipeline")
+                    return fallback
             else:
+                if use_fast:
+                    self._sampled_prevented += 1
+                    self.events.emit(self.process.clock.now_ns,
+                                     "sampling.prevented",
+                                     patches=[p.key for p in
+                                              diagnosis.patches])
                 for patch in diagnosis.patches:
                     patch.validated = True
                 if self.config.pool_path:

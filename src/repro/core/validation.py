@@ -55,6 +55,10 @@ class IterationTrace:
     result: RunResult
     mm_trace: List[MMTraceEntry] = field(default_factory=list)
     illegal_accesses: List[IllegalAccess] = field(default_factory=list)
+    #: Double frees the clone's extension swallowed (fast-path effect
+    #: evidence: a patch absorbing one proves the detection real even
+    #: when the first free predates every checkpoint in the window).
+    double_free_events: List = field(default_factory=list)
 
     def patch_triggers(self) -> Counter:
         """patch_id -> number of operations the patch applied to."""
@@ -120,15 +124,27 @@ class ValidationEngine:
 
     def validate(self, process: Process, checkpoint: Checkpoint,
                  pool: PatchPool, window_end: int,
-                 under_test=None) -> ValidationResult:
+                 under_test=None,
+                 fast_path: bool = False) -> ValidationResult:
         """Validate the pool's patches; ``under_test`` names the
         just-generated patches this verdict is about, so an
         inconsistent result can retract exactly those from the shared
-        store (previously validated patches are not collateral)."""
+        store (previously validated patches are not collateral).
+
+        ``fast_path`` marks patches minted from a sampled guard hit
+        without any diagnostic re-execution (DESIGN.md §15): those
+        must additionally show their detection *reproducing* under
+        validation -- at least one illegal access neutralized by (or
+        double free absorbed by) a patch under test.  A guard false
+        positive pads allocations that nothing ever oversteps, shows
+        no effect, and is rejected here."""
         with self.telemetry.span("validation",
                                  checkpoint=checkpoint.index) as span:
             started = time.perf_counter()
-            result = self._validate(process, checkpoint, pool, window_end)
+            result = self._validate(process, checkpoint, pool,
+                                    window_end,
+                                    under_test=under_test,
+                                    fast_path=fast_path)
             result.wall_s = time.perf_counter() - started
             if not result.consistent and under_test:
                 self._retract(under_test)
@@ -153,7 +169,9 @@ class ValidationEngine:
                          generation=state.generation)
 
     def _validate(self, process: Process, checkpoint: Checkpoint,
-                  pool: PatchPool, window_end: int) -> ValidationResult:
+                  pool: PatchPool, window_end: int,
+                  under_test=None,
+                  fast_path: bool = False) -> ValidationResult:
         result = ValidationResult(consistent=True)
         executor = self.executor or SerialExecutor(process.program)
         # Materialize the checkpoint's full state once: with
@@ -182,7 +200,9 @@ class ValidationEngine:
             result.iterations.append(IterationTrace(
                 seed=seed, passed=out.passed, result=out.result,
                 mm_trace=out.mm_trace,
-                illegal_accesses=out.illegal_accesses))
+                illegal_accesses=out.illegal_accesses,
+                double_free_events=list(
+                    out.manifestations.double_free_events)))
         baseline = handle.result(self.iterations)
         times.append(baseline.time_ns)
         result.baseline_mm_trace = baseline.mm_trace
@@ -198,6 +218,14 @@ class ValidationEngine:
         # original serial validation time.
         result.time_ns = schedule_ns(times, executor.workers)
         self._check_consistency(result)
+        if fast_path and result.consistent and under_test \
+                and not _patch_effect_observed(result, under_test):
+            result.consistent = False
+            result.reasons.append(
+                "fast-path criterion: the detection-seeded patch "
+                "showed no effect under validation (nothing overstepped "
+                "its padding, no delayed free absorbed a double free); "
+                "the sampled detection did not reproduce")
         self.events.emit(0, "validation.done",
                          consistent=result.consistent,
                          iterations=len(result.iterations),
@@ -286,3 +314,36 @@ class ValidationEngine:
                     "criterion (c): illegal accesses differ in "
                     "instruction/offset identity between seeds "
                     f"{first.seed} and {trace.seed}")
+
+
+def _patch_effect_observed(result: ValidationResult, under_test) -> bool:
+    """True when any validation iteration shows a patch under test
+    actually intercepting the detected bug: an illegal access
+    neutralized by the patch (an overstep into its padding, a write
+    into its delay-freed object), or a second free of an address the
+    patch is holding in quarantine.  The latter shows up as two free
+    entries for one address with no malloc in between -- the delay
+    keeps the address out of reuse, so the pattern cannot arise
+    legitimately -- or, when the first free predates every checkpoint
+    in the window, as a swallowed DoubleFreeEvent whose address a
+    patch under test intercepted."""
+    ids = {p.patch_id for p in under_test}
+    for trace in result.iterations:
+        for access in trace.illegal_accesses:
+            if access.patch_id in ids:
+                return True
+        freed = set()
+        for entry in trace.mm_trace:
+            if entry.op == "free":
+                if entry.user_addr in freed and entry.patch_id in ids:
+                    return True
+                freed.add(entry.user_addr)
+            else:
+                freed.discard(entry.user_addr)
+        bad_frees = {e.user_addr for e in trace.double_free_events}
+        if bad_frees and any(entry.op == "free"
+                             and entry.patch_id in ids
+                             and entry.user_addr in bad_frees
+                             for entry in trace.mm_trace):
+            return True
+    return False

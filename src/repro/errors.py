@@ -126,6 +126,26 @@ class DivisionByZeroFault(SimulatedFault):
     kind = "div-by-zero"
 
 
+class SampledGuardFault(SimulatedFault):
+    """A sampled guarded allocation caught a memory bug pre-crash
+    (GWP-ASan-style): a redzone canary or delayed-free canary around a
+    guarded object was corrupted, or a guarded object was freed twice.
+
+    Unlike the other fault families, the bug type and call-site are
+    already known at raise time -- ``detection`` carries a
+    :class:`repro.sampling.SampledDetection` with the full attribution,
+    which the diagnostic engine can consume directly (fast path)
+    instead of re-deriving it via re-execution.
+    """
+
+    kind = "sampled-guard"
+
+    def __init__(self, message: str = "", address: int = None,
+                 instr_id=None, detection=None):
+        super().__init__(message, address=address, instr_id=instr_id)
+        self.detection = detection
+
+
 class OutOfMemoryFault(SimulatedFault):
     """The simulated heap cannot satisfy an allocation request."""
 

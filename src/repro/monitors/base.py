@@ -18,6 +18,11 @@ class FailureEvent:
     instr_count: int          # position of the failure in the execution
     time_ns: int              # simulated time of detection
     monitor: str              # which monitor caught it
+    #: Attribution captured at a sampled guard hit
+    #: (:class:`repro.sampling.SampledDetection`); None for every other
+    #: failure family.  When present, the diagnostic engine can seed
+    #: the change-group directly instead of running phase 1/2.
+    detection: Optional[object] = None
 
     @property
     def instr_id(self) -> Optional[Tuple[str, int]]:

@@ -9,6 +9,7 @@ from repro.errors import (
     AssertionFailure,
     DivisionByZeroFault,
     HeapCorruptionFault,
+    SampledGuardFault,
     SegmentationFault,
 )
 from repro.monitors.base import ErrorMonitor, FailureEvent
@@ -57,6 +58,25 @@ class HeapCorruptionMonitor(_FaultTypeMonitor):
     fault_types = (HeapCorruptionFault,)
 
 
+class SampledDetectionMonitor(_FaultTypeMonitor):
+    """Catches sampled guard hits (GWP-ASan-style pre-crash
+    detections) and forwards the attribution the guard captured, so
+    the diagnostic engine can take its fast path."""
+
+    name = "sampled-detection"
+    fault_types = (SampledGuardFault,)
+
+    def check(self, result: RunResult,
+              process: Process) -> Optional[FailureEvent]:
+        event = super().check(result, process)
+        if event is None:
+            return None
+        return FailureEvent(
+            fault=event.fault, instr_count=event.instr_count,
+            time_ns=event.time_ns, monitor=event.monitor,
+            detection=getattr(result.fault, "detection", None))
+
+
 def default_monitors() -> List[ErrorMonitor]:
     return [ExceptionMonitor(), AssertionMonitor(),
-            HeapCorruptionMonitor()]
+            HeapCorruptionMonitor(), SampledDetectionMonitor()]

@@ -118,6 +118,12 @@ class HealthBeacon:
     #: Serialized only when True, so rollout-disabled fleets emit
     #: byte-identical beacons to the pre-rollout plane.
     canary: bool = False
+    #: Sampled always-on detection counters (repro.sampling, DESIGN.md
+    #: §15): rate, allocs, sampled_allocs, sampled_frees, detections,
+    #: suppressed, guard_scans, first_detection_ns, prevented.
+    #: Serialized only when non-empty, so pre-sampling beacons stay
+    #: byte-identical.
+    sampling: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.recovery_ns:
@@ -148,6 +154,9 @@ class HealthBeacon:
         }
         if self.canary:
             payload["canary"] = True
+        if self.sampling:
+            payload["sampling"] = {k: self.sampling[k]
+                                   for k in sorted(self.sampling)}
         return payload
 
     @classmethod
@@ -188,6 +197,8 @@ class HealthBeacon:
                     payload.get("latency_ns", _empty_hist(
                         "latency_ns", LATENCY_BOUNDS)), "latency_ns"),
                 canary=bool(payload.get("canary", False)),
+                sampling={str(k): int(v) for k, v in
+                          dict(payload.get("sampling", {})).items()},
             )
         except (TypeError, KeyError) as exc:
             raise ValueError(f"malformed health beacon: {exc!r}") from exc
@@ -385,6 +396,16 @@ class FleetHealthReport:
         if rungs:
             mix = " ".join(f"{r}:{n}" for r, n in sorted(rungs.items()))
             out.append(f"  rung mix: {mix}")
+        sampling = fleet.get("sampling")
+        if sampling:
+            out.append(
+                f"  sampling: detections={sampling['detections']} "
+                f"prevented={sampling['prevented']} "
+                f"suppressed={sampling['suppressed']} "
+                f"guarded={sampling['sampled_allocs']}"
+                f"/{sampling['allocs']} "
+                f"(effective rate {sampling['effective_rate']:.4f} "
+                f"across {sampling['processes']} processes)")
         for label, key in (("recovery", "recovery_ns"),
                            ("latency", "latency_ns")):
             q = fleet.get(key) or {}
@@ -520,6 +541,11 @@ class FleetHealthAggregator:
                                              "recovery_ns"),
                 "latency_ns": _hist_payload(b.latency_ns, "latency_ns"),
             })
+            if b.sampling:
+                # Present only when the beacon carries the sampling
+                # plane, so pre-sampling reports stay byte-identical.
+                processes[-1]["sampling"] = {k: b.sampling[k]
+                                             for k in sorted(b.sampling)}
 
         keys = sorted({k for b in beacons for k in b.patches})
         patches = []
@@ -574,6 +600,28 @@ class FleetHealthAggregator:
             "latency_ns": self._merged_hist("latency_ns", "latency_ns",
                                             LATENCY_BOUNDS),
         }
+        sampled = [b for b in beacons if b.sampling]
+        if sampled:
+            # The sampling aggregate exists only when at least one
+            # beacon carries it; sampling-free fleets render and
+            # serialize byte-identically to the pre-sampling plane.
+            allocs = sum(int(b.sampling.get("allocs", 0))
+                         for b in sampled)
+            sampled_allocs = sum(int(b.sampling.get("sampled_allocs", 0))
+                                 for b in sampled)
+            fleet["sampling"] = {
+                "processes": len(sampled),
+                "allocs": allocs,
+                "sampled_allocs": sampled_allocs,
+                "effective_rate": (sampled_allocs / allocs
+                                   if allocs else 0.0),
+                "detections": sum(int(b.sampling.get("detections", 0))
+                                  for b in sampled),
+                "prevented": sum(int(b.sampling.get("prevented", 0))
+                                 for b in sampled),
+                "suppressed": sum(int(b.sampling.get("suppressed", 0))
+                                  for b in sampled),
+            }
         return FleetHealthReport(program=program, processes=processes,
                                  patches=patches, fleet=fleet,
                                  beacon_errors=self.errors)

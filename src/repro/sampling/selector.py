@@ -1,0 +1,63 @@
+"""Deterministic sample selection.
+
+Every allocation carries a monotonically increasing sequence number
+(``alloc_seq`` in the allocator extension) that is captured and
+restored by checkpoints.  Selection is a pure function of
+``(entropy_seed, rate, alloc_seq)`` through a splitmix64-style integer
+mixer, which gives the three properties the sampling plane needs:
+
+* **Deterministic re-execution**: a rollback replay re-picks exactly
+  the allocations the original run picked (the sequence number
+  restores with the heap snapshot).
+* **Backend independence**: no ``hash()``, no RNG object state -- the
+  serial and fork execution backends compute identical picks.
+* **Uniform spread**: the mixer decorrelates consecutive sequence
+  numbers, so "every 1/N" is a statistical rate, not a stride (a
+  stride would systematically miss allocation sites whose period
+  divides N).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def mix64(x: int) -> int:
+    """The splitmix64 finalizer: a cheap, well-dispersed 64-bit
+    permutation (Steele et al., OOPSLA'14)."""
+    x = (x + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+class SampleSelector:
+    """Picks every ~1/``rate`` allocation sequence numbers,
+    deterministically salted by the process entropy seed.
+
+    ``rate <= 0`` disables sampling entirely (never picks);
+    ``rate == 1`` guards every allocation (useful in tests).
+    """
+
+    __slots__ = ("rate", "entropy_seed", "_salt")
+
+    def __init__(self, rate: int, entropy_seed: int = 1):
+        self.rate = int(rate)
+        self.entropy_seed = int(entropy_seed)
+        # Pre-mix the seed so consecutive seeds produce unrelated
+        # pick sets (seed 42 vs 43 must not shift-by-one).
+        self._salt = mix64((self.entropy_seed & _MASK64) ^ _GOLDEN)
+
+    def picks(self, alloc_seq: int) -> bool:
+        """True when the allocation with this sequence number is
+        promoted to a guarded allocation."""
+        if self.rate <= 0:
+            return False
+        if self.rate == 1:
+            return True
+        return mix64(self._salt ^ (alloc_seq & _MASK64)) % self.rate == 0
+
+    def __repr__(self) -> str:
+        return (f"SampleSelector(rate={self.rate}, "
+                f"entropy_seed={self.entropy_seed})")

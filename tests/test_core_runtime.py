@@ -223,7 +223,8 @@ def test_uir_patch_changes_semantics_documented():
 class TestMonitors:
     def test_default_set(self):
         names = {m.name for m in default_monitors()}
-        assert names == {"exception", "assertion", "heap-corruption"}
+        assert names == {"exception", "assertion", "heap-corruption",
+                         "sampled-detection"}
 
     def test_monitor_specificity(self):
         from repro.errors import AssertionFailure, SegmentationFault
